@@ -1,0 +1,51 @@
+// Reproduces Fig. 6: overall output power of the three reconfiguration
+// methods (DNOR, INOR, EHTR) and the 10 x 10 baseline over a 120-second
+// window of the drive.  DNOR's actuation instants are marked with '*'
+// (the black dots of the paper's figure); INOR and EHTR actuate at every
+// 0.5 s time point.
+#include <cstdio>
+
+#include "core/dnor.hpp"
+#include "core/ehtr.hpp"
+#include "core/fixed_baseline.hpp"
+#include "core/inor.hpp"
+#include "sim/results.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/trace.hpp"
+
+int main() {
+  using namespace tegrec;
+
+  std::printf("=== Fig. 6: output power over 120 s ===\n\n");
+  // Use a window with urban -> hill transition for visible dynamics.
+  const thermal::TemperatureTrace full = thermal::default_experiment_trace();
+  const thermal::TemperatureTrace trace = full.slice(260.0, 380.0);
+  std::printf("window: t = 260..380 s of the 800 s drive (%zu steps)\n\n",
+              trace.num_steps());
+
+  const teg::DeviceParams device = teg::tgm_199_1_4_0_8();
+  const power::ConverterParams charger;
+  core::DnorReconfigurer dnor(device, charger);
+  core::InorReconfigurer inor(device, charger);
+  core::EhtrReconfigurer ehtr(device, charger);
+  auto baseline = core::FixedBaselineReconfigurer::square_grid(trace.num_modules());
+
+  std::vector<sim::SimulationResult> runs;
+  runs.push_back(sim::run_simulation(dnor, trace));
+  runs.push_back(sim::run_simulation(inor, trace));
+  runs.push_back(sim::run_simulation(ehtr, trace));
+  runs.push_back(sim::run_simulation(baseline, trace));
+
+  // Print every 2 s (stride 4 at 0.5 s) — the plotted series.
+  std::printf("%s\n", sim::render_power_timeline(runs, 4).c_str());
+
+  std::printf("window summary:\n");
+  for (const auto& r : runs) {
+    std::printf("  %-9s mean %.2f W, switches %zu\n", r.algorithm.c_str(),
+                r.mean_power_w(), r.num_switch_events);
+  }
+  std::printf("\nshape check: DNOR/INOR/EHTR curves overlap near the top;\n"
+              "baseline visibly lower; DNOR '*' marks sparse vs INOR/EHTR\n"
+              "(which actuate at every point).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 7: ratio of each scheme's output power to the ideal
+// maximum output power P_ideal (all modules at their own MPPs) over the
+// same 120 s window as Fig. 6, with DNOR switch points marked.
+#include <cstdio>
+
+#include "core/dnor.hpp"
+#include "core/ehtr.hpp"
+#include "core/fixed_baseline.hpp"
+#include "core/inor.hpp"
+#include "sim/results.hpp"
+#include "sim/simulator.hpp"
+#include "thermal/trace.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace tegrec;
+
+  std::printf("=== Fig. 7: output power ratio to Pideal over 120 s ===\n\n");
+  const thermal::TemperatureTrace full = thermal::default_experiment_trace();
+  const thermal::TemperatureTrace trace = full.slice(260.0, 380.0);
+
+  const teg::DeviceParams device = teg::tgm_199_1_4_0_8();
+  const power::ConverterParams charger;
+  core::DnorReconfigurer dnor(device, charger);
+  core::InorReconfigurer inor(device, charger);
+  core::EhtrReconfigurer ehtr(device, charger);
+  auto baseline = core::FixedBaselineReconfigurer::square_grid(trace.num_modules());
+
+  std::vector<sim::SimulationResult> runs;
+  runs.push_back(sim::run_simulation(dnor, trace));
+  runs.push_back(sim::run_simulation(inor, trace));
+  runs.push_back(sim::run_simulation(ehtr, trace));
+  runs.push_back(sim::run_simulation(baseline, trace));
+
+  std::printf("%s\n", sim::render_ratio_timeline(runs, 4).c_str());
+
+  std::printf("window-average ratios:\n");
+  for (const auto& r : runs) {
+    std::vector<double> ratios;
+    for (const auto& s : r.steps) {
+      if (s.ideal_power_w > 0.0) ratios.push_back(s.net_power_w / s.ideal_power_w);
+    }
+    std::printf("  %-9s mean %.3f  min %.3f\n", r.algorithm.c_str(),
+                util::mean(ratios), util::min_value(ratios));
+  }
+  std::printf("\nshape check: reconfiguring schemes hold ~0.9+ of Pideal;\n"
+              "the fixed baseline sits well below and varies with the\n"
+              "temperature distribution; no ratio exceeds 1.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Scalability claim of Sections I/V: INOR runs in O(N) while EHTR is
+// O(N^3), so the gap explodes with array size ("industrial boilers and
+// heat exchangers").  google-benchmark measures both searches plus the
+// MLR predictor fit across N.
+//
+// Expected shape: INOR roughly linear in N; EHTR roughly cubic; at N=400+
+// the ratio reaches orders of magnitude.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/ehtr.hpp"
+#include "core/inor.hpp"
+#include "predict/mlr.hpp"
+#include "teg/array.hpp"
+
+namespace {
+
+using namespace tegrec;
+
+const teg::DeviceParams kDev = teg::tgm_199_1_4_0_8();
+const power::ConverterParams kConv;
+
+std::vector<double> profile(std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    out[i] = 38.0 * std::exp(-1.9 * x) + 4.0 + 0.7 * std::sin(17.0 * x);
+  }
+  return out;
+}
+
+void BM_InorSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const teg::TegArray array(kDev, profile(n));
+  const power::Converter conv(kConv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::inor_search(array, conv));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_InorSearch)->RangeMultiplier(2)->Range(25, 800)->Complexity(benchmark::oN);
+
+void BM_EhtrSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const teg::TegArray array(kDev, profile(n));
+  const power::Converter conv(kConv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ehtr_search(array, conv));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+// EHTR at N=800 is ~minutes of DP; cap at 400 to keep the harness fast.
+BENCHMARK(BM_EhtrSearch)->RangeMultiplier(2)->Range(25, 400)->Complexity(benchmark::oNCubed);
+
+void BM_MlrFitPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  predict::TemperatureHistory history(n, 30);
+  const auto base = profile(n);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<double> row = base;
+    for (auto& x : row) x += 25.0 + 0.01 * t;  // absolute temps with drift
+    history.push(row);
+  }
+  predict::MlrPredictor mlr;
+  for (auto _ : state) {
+    mlr.fit(history);
+    benchmark::DoNotOptimize(mlr.predict_next(history));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MlrFitPredict)->RangeMultiplier(2)->Range(25, 800)->Complexity(benchmark::oN);
+
+}  // namespace

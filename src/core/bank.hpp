@@ -1,0 +1,44 @@
+// Row-wise reconfiguration of a 2-D (multi-row) TEG bank.
+//
+// The paper reduces the 2-D radiator to independent 1-D problems; this
+// module implements that reduction and quantifies its cost.  Two search
+// strategies over the per-row configurations:
+//
+//  * kIndependent — run INOR on every row in isolation (the paper's
+//    reduction).  Each row lands near its own MPP, but rows with unequal
+//    flow develop unequal MPP voltages and back-feed each other at the
+//    common charger port.
+//  * kVoltageMatched — after the independent pass, re-run each row's INOR
+//    restricted to group counts whose string MPP voltage is closest to the
+//    bank median, trading a little per-row optimality for parallel
+//    alignment.  Recovers most of the back-feed loss at O(rows * N) cost.
+#pragma once
+
+#include <vector>
+
+#include "core/inor.hpp"
+#include "power/converter.hpp"
+#include "teg/array.hpp"
+#include "teg/string_bank.hpp"
+
+namespace tegrec::core {
+
+enum class BankStrategy { kIndependent, kVoltageMatched };
+
+struct BankSearchResult {
+  std::vector<teg::ArrayConfig> row_configs;
+  teg::StringBank bank;          ///< evaluated at the found configuration
+  double output_power_w = 0.0;   ///< post-converter bank power
+};
+
+/// Searches per-row configurations for a bank of row arrays.  Every
+/// element of `rows` is one row's TegArray (typically from
+/// thermal::row_module_delta_t).  All rows share `converter`.
+BankSearchResult bank_search(const std::vector<teg::TegArray>& rows,
+                             const power::Converter& converter,
+                             BankStrategy strategy = BankStrategy::kVoltageMatched);
+
+/// Post-converter power of a bank at its best common operating voltage.
+double bank_power_w(const teg::StringBank& bank, const power::Converter& converter);
+
+}  // namespace tegrec::core

@@ -1,0 +1,125 @@
+#include "core/dnor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+
+namespace tegrec::core {
+
+DnorReconfigurer::DnorReconfigurer(const teg::DeviceParams& device,
+                                   const power::ConverterParams& converter,
+                                   const DnorParams& params,
+                                   std::unique_ptr<predict::Predictor> predictor)
+    : device_(device), converter_(converter), params_(params),
+      predictor_(std::move(predictor)) {
+  if (params_.control_period_s <= 0.0) {
+    throw std::invalid_argument("DnorReconfigurer: control period <= 0");
+  }
+  if (params_.tp_s <= 0.0) {
+    throw std::invalid_argument("DnorReconfigurer: tp <= 0");
+  }
+  if (!predictor_) {
+    predictor_ = std::make_unique<predict::MlrPredictor>();
+  }
+  if (params_.history_window <= predictor_->num_lags() + 1) {
+    throw std::invalid_argument("DnorReconfigurer: window too small for predictor");
+  }
+}
+
+double DnorReconfigurer::predicted_energy_j(
+    const teg::ArrayConfig& config, const std::vector<double>& now_temps,
+    const std::vector<std::vector<double>>& forecast, double ambient_c) const {
+  const double dt = params_.control_period_s;
+  auto power_at = [&](const std::vector<double>& temps) {
+    std::vector<double> delta(temps.size());
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+      delta[i] = std::max(0.0, temps[i] - ambient_c);
+    }
+    const teg::TegArray array(device_, delta, ambient_c);
+    return config_power_w(array, converter_, config);
+  };
+  // The "current second" term of Algorithm 2 plus the tp predicted steps.
+  double energy = power_at(now_temps) * dt;
+  for (const auto& row : forecast) energy += power_at(row) * dt;
+  return energy;
+}
+
+UpdateResult DnorReconfigurer::update(double time_s,
+                                      const std::vector<double>& delta_t_k,
+                                      double ambient_c) {
+  if (!history_) {
+    history_ = std::make_unique<predict::TemperatureHistory>(
+        delta_t_k.size(), params_.history_window);
+  }
+  // The controller senses every period and archives absolute hot-side
+  // temperatures (the predictors model T, not dT).
+  std::vector<double> temps(delta_t_k.size());
+  for (std::size_t i = 0; i < delta_t_k.size(); ++i) {
+    temps[i] = ambient_c + delta_t_k[i];
+  }
+  history_->push(temps);
+
+  UpdateResult result;
+  if (has_config_ && time_s + 1e-9 < next_decision_time_s_) {
+    result.config = current_;
+    return result;  // hold between decisions
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const teg::TegArray array(device_, delta_t_k, ambient_c);
+  teg::ArrayConfig c_new = inor_search(array, converter_, params_.inor);
+  ++decisions_;
+
+  bool adopt = true;
+  if (has_config_ && c_new != current_) {
+    const auto horizon = static_cast<std::size_t>(
+        std::llround(params_.tp_s / params_.control_period_s));
+    const bool can_predict =
+        history_->size() >= params_.history_window && horizon > 0;
+    if (can_predict) {
+      predictor_->fit(*history_);
+      const auto forecast = predictor_->predict_horizon(*history_, horizon);
+      const double e_old =
+          predicted_energy_j(current_, temps, forecast, ambient_c);
+      const double e_new = predicted_energy_j(c_new, temps, forecast, ambient_c);
+      const std::size_t toggles = 3 * current_.boundary_distance(c_new);
+      const double p_now = config_power_w(array, converter_, current_);
+      const double e_overhead =
+          switchfab::reconfiguration_cost(params_.overhead, toggles, p_now, 0.0)
+              .energy_j;
+      // Algorithm 2's rule: switch only if E_old <= E_new - E_overhead.
+      adopt = e_old <= e_new - e_overhead;
+    }
+    // Without enough history the controller stays instantaneous (warmup).
+  } else if (has_config_) {
+    adopt = false;  // identical configuration: nothing to actuate
+  }
+
+  result.compute_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.invoked = true;
+  if (adopt) {
+    result.switched = !has_config_ || c_new != current_;
+    result.actuate = result.switched;  // actuate only on a real change
+    current_ = std::move(c_new);
+    has_config_ = true;
+    if (result.switched) ++switches_;
+  }
+  next_decision_time_s_ = time_s + params_.tp_s + 1.0;
+  result.config = current_;
+  return result;
+}
+
+void DnorReconfigurer::reset() {
+  history_.reset();
+  next_decision_time_s_ = 0.0;
+  has_config_ = false;
+  current_ = teg::ArrayConfig();
+  decisions_ = 0;
+  switches_ = 0;
+}
+
+}  // namespace tegrec::core

@@ -1,0 +1,123 @@
+#include "core/ehtr.hpp"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+
+namespace tegrec::core {
+
+std::vector<teg::ArrayConfig> balanced_partitions(
+    const std::vector<double>& mpp_currents, std::size_t max_n) {
+  const std::size_t count = mpp_currents.size();
+  if (count == 0) throw std::invalid_argument("balanced_partitions: empty input");
+  if (max_n == 0 || max_n > count) {
+    throw std::invalid_argument("balanced_partitions: bad max_n");
+  }
+  std::vector<double> prefix(count + 1, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (mpp_currents[i] < 0.0) {
+      throw std::invalid_argument("balanced_partitions: negative current");
+    }
+    prefix[i + 1] = prefix[i] + mpp_currents[i];
+  }
+  auto seg_cost = [&prefix](std::size_t from, std::size_t to) {
+    const double s = prefix[to] - prefix[from];
+    return s * s;
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[j][i]: minimal sum of squared group sums partitioning the first i
+  // modules into j+1 groups; parent[j][i] the split point achieving it.
+  std::vector<std::vector<double>> dp(max_n, std::vector<double>(count + 1, kInf));
+  std::vector<std::vector<std::size_t>> parent(
+      max_n, std::vector<std::size_t>(count + 1, 0));
+
+  for (std::size_t i = 1; i <= count; ++i) dp[0][i] = seg_cost(0, i);
+  for (std::size_t j = 1; j < max_n; ++j) {
+    for (std::size_t i = j + 1; i <= count; ++i) {
+      double best = kInf;
+      std::size_t best_k = j;
+      for (std::size_t k = j; k < i; ++k) {
+        const double c = dp[j - 1][k] + seg_cost(k, i);
+        if (c < best) {
+          best = c;
+          best_k = k;
+        }
+      }
+      dp[j][i] = best;
+      parent[j][i] = best_k;
+    }
+  }
+
+  std::vector<teg::ArrayConfig> out;
+  out.reserve(max_n);
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    std::vector<std::size_t> starts(n);
+    std::size_t i = count;
+    for (std::size_t j = n; j-- > 1;) {
+      const std::size_t k = parent[j][i];
+      starts[j] = k;
+      i = k;
+    }
+    starts[0] = 0;
+    out.emplace_back(std::move(starts), count);
+  }
+  return out;
+}
+
+teg::ArrayConfig ehtr_search(const teg::TegArray& array,
+                             const power::Converter& converter) {
+  const std::vector<double> impp = array.module_mpp_currents();
+  const std::vector<teg::ArrayConfig> candidates =
+      balanced_partitions(impp, array.size());
+  double best_power = -1.0;
+  const teg::ArrayConfig* best = nullptr;
+  for (const teg::ArrayConfig& c : candidates) {
+    const double p = config_power_w(array, converter, c);
+    if (p > best_power) {
+      best_power = p;
+      best = &c;
+    }
+  }
+  return *best;
+}
+
+EhtrReconfigurer::EhtrReconfigurer(const teg::DeviceParams& device,
+                                   const power::ConverterParams& converter,
+                                   double period_s)
+    : device_(device), converter_(converter), period_s_(period_s) {
+  if (period_s <= 0.0) throw std::invalid_argument("EhtrReconfigurer: period <= 0");
+}
+
+UpdateResult EhtrReconfigurer::update(double time_s,
+                                      const std::vector<double>& delta_t_k,
+                                      double ambient_c) {
+  UpdateResult result;
+  if (has_config_ && time_s + 1e-9 < next_run_time_s_) {
+    result.config = current_;
+    return result;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const teg::TegArray array(device_, delta_t_k, ambient_c);
+  teg::ArrayConfig next = ehtr_search(array, converter_);
+  result.compute_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.invoked = true;
+  result.switched = !has_config_ || next != current_;
+  result.actuate = true;  // periodic scheme: rebuild on every invocation
+  current_ = std::move(next);
+  has_config_ = true;
+  next_run_time_s_ = time_s + period_s_;
+  result.config = current_;
+  return result;
+}
+
+void EhtrReconfigurer::reset() {
+  has_config_ = false;
+  next_run_time_s_ = 0.0;
+  current_ = teg::ArrayConfig();
+}
+
+}  // namespace tegrec::core

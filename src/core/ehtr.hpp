@@ -1,0 +1,59 @@
+// EHTR — Efficient Heuristic TEG Reconfiguration (prior work, Baek et al.,
+// ISLPED 2017 [2]; re-implemented as the paper's comparison baseline).
+//
+// EHTR searches far harder than INOR: for every group count n in [1, N] it
+// finds the *optimal* contiguous partition balancing the group MPP-current
+// sums.  Minimising sum_j (S_j - Iideal)^2 for fixed n is equivalent to
+// minimising sum_j S_j^2 (the cross terms are constant), which is
+// n-independent and solvable for all n at once by dynamic programming:
+//
+//   dp[j][i] = min_k dp[j-1][k] + (prefix[i] - prefix[k])^2
+//
+// The DP table is O(N^2) states with O(N) transitions — the O(N^3) runtime
+// the paper attributes to EHTR — after which each n's partition is scored
+// with the same charger-aware objective.  Like INOR in the paper's
+// evaluation it re-runs every 0.5 s and always actuates, hence its large
+// switching overhead in Table I.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/reconfigurer.hpp"
+#include "power/converter.hpp"
+#include "teg/array.hpp"
+
+namespace tegrec::core {
+
+/// Optimal contiguous partitions (by squared group-sum balance) of the MPP
+/// currents into every group count 1..max_n.  Element n-1 of the result is
+/// the best partition into n groups.  O(N^2 * max_n) time, O(N * max_n)
+/// memory.
+std::vector<teg::ArrayConfig> balanced_partitions(
+    const std::vector<double>& mpp_currents, std::size_t max_n);
+
+/// Full EHTR search: all group counts, charger-aware scoring.
+teg::ArrayConfig ehtr_search(const teg::TegArray& array,
+                             const power::Converter& converter);
+
+/// Periodic controller wrapping ehtr_search (0.5 s period per [5]).
+class EhtrReconfigurer final : public Reconfigurer {
+ public:
+  EhtrReconfigurer(const teg::DeviceParams& device,
+                   const power::ConverterParams& converter, double period_s = 0.5);
+
+  std::string name() const override { return "EHTR"; }
+  UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
+                      double ambient_c) override;
+  void reset() override;
+
+ private:
+  teg::DeviceParams device_;
+  power::Converter converter_;
+  double period_s_;
+  double next_run_time_s_ = 0.0;
+  bool has_config_ = false;
+  teg::ArrayConfig current_;
+};
+
+}  // namespace tegrec::core

@@ -1,0 +1,31 @@
+#include "core/fixed_baseline.hpp"
+
+namespace tegrec::core {
+
+FixedBaselineReconfigurer::FixedBaselineReconfigurer(teg::ArrayConfig config)
+    : config_(std::move(config)) {}
+
+FixedBaselineReconfigurer FixedBaselineReconfigurer::square_grid(
+    std::size_t num_modules) {
+  const auto side = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(num_modules))));
+  const std::size_t groups = side == 0 ? 1 : side;
+  return FixedBaselineReconfigurer(teg::ArrayConfig::uniform(num_modules, groups));
+}
+
+UpdateResult FixedBaselineReconfigurer::update(
+    double /*time_s*/, const std::vector<double>& /*delta_t_k*/,
+    double /*ambient_c*/) {
+  UpdateResult result;
+  result.config = config_;
+  // The very first call "installs" the wiring; afterwards nothing runs and
+  // nothing switches, so the baseline carries no algorithm overhead.
+  result.switched = first_;
+  result.actuate = first_;
+  first_ = false;
+  return result;
+}
+
+void FixedBaselineReconfigurer::reset() { first_ = true; }
+
+}  // namespace tegrec::core

@@ -1,0 +1,34 @@
+// Fixed-topology baseline: the paper's 10 x 10 TEG array.
+//
+// No reconfiguration at all — the array keeps one series/parallel topology
+// (10 series groups of 10 parallel modules for N = 100) and only the
+// charger's MPPT adapts to temperature.  This is the "Baseline" column of
+// Table I and the reference for the paper's "+30%" claim.
+#pragma once
+
+#include <cmath>
+
+#include "core/reconfigurer.hpp"
+
+namespace tegrec::core {
+
+class FixedBaselineReconfigurer final : public Reconfigurer {
+ public:
+  /// Uses the given fixed configuration.
+  explicit FixedBaselineReconfigurer(teg::ArrayConfig config);
+
+  /// Square-ish grid: sqrt(N) series groups of sqrt(N) parallel modules
+  /// (exact for perfect squares; nearest uniform split otherwise).
+  static FixedBaselineReconfigurer square_grid(std::size_t num_modules);
+
+  std::string name() const override { return "Baseline"; }
+  UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
+                      double ambient_c) override;
+  void reset() override;
+
+ private:
+  teg::ArrayConfig config_;
+  bool first_ = true;
+};
+
+}  // namespace tegrec::core

@@ -1,0 +1,116 @@
+#include "core/inor.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+
+namespace tegrec::core {
+
+teg::ArrayConfig inor_partition(const std::vector<double>& mpp_currents,
+                                std::size_t n) {
+  const std::size_t count = mpp_currents.size();
+  if (n == 0 || n > count) {
+    throw std::invalid_argument("inor_partition: bad group count");
+  }
+  // Prefix sums of the MPP currents: prefix[i] = sum of the first i values.
+  // Zero currents (stone-cold modules) are legal; negatives are not.
+  std::vector<double> prefix(count + 1, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (mpp_currents[i] < 0.0) {
+      throw std::invalid_argument("inor_partition: negative MPP current");
+    }
+    prefix[i + 1] = prefix[i] + mpp_currents[i];
+  }
+  if (prefix[count] <= 0.0) {
+    // Dead array: any balanced partition is as good as any other.
+    return teg::ArrayConfig::uniform(count, n);
+  }
+  const double i_ideal = prefix[count] / static_cast<double>(n);
+
+  std::vector<std::size_t> starts{0};
+  std::size_t boundary = 0;  // end (exclusive) of the previous group
+  for (std::size_t j = 1; j < n; ++j) {
+    // Group j-1 spans [starts.back(), g).  Walk g forward while moving the
+    // group sum closer to Iideal; currents are positive so the deviation is
+    // unimodal in g and the scan can stop at the first worsening step.
+    const double base = prefix[boundary];
+    std::size_t g = boundary + 1;              // at least one module per group
+    const std::size_t g_max = count - (n - j); // leave one module per later group
+    while (g < g_max && std::abs(prefix[g + 1] - base - i_ideal) <=
+                            std::abs(prefix[g] - base - i_ideal)) {
+      ++g;
+    }
+    starts.push_back(g);
+    boundary = g;
+  }
+  return teg::ArrayConfig(std::move(starts), count);
+}
+
+teg::ArrayConfig inor_search(const teg::TegArray& array,
+                             const power::Converter& converter,
+                             const InorOptions& options) {
+  std::size_t nmin = options.nmin;
+  std::size_t nmax = options.nmax;
+  if (nmin == 0 && nmax == 0) {
+    const auto window = group_count_window(array, converter);
+    nmin = window.nmin;
+    nmax = window.nmax;
+  }
+  if (nmin == 0 || nmax < nmin || nmax > array.size()) {
+    throw std::invalid_argument("inor_search: bad n window");
+  }
+
+  const std::vector<double> impp = array.module_mpp_currents();
+  double best_power = -1.0;
+  teg::ArrayConfig best;
+  for (std::size_t n = nmin; n <= nmax; ++n) {
+    teg::ArrayConfig candidate = inor_partition(impp, n);
+    const double p = config_power_w(array, converter, candidate);
+    if (p > best_power) {
+      best_power = p;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+InorReconfigurer::InorReconfigurer(const teg::DeviceParams& device,
+                                   const power::ConverterParams& converter,
+                                   double period_s, const InorOptions& options)
+    : device_(device), converter_(converter), period_s_(period_s),
+      options_(options) {
+  if (period_s <= 0.0) throw std::invalid_argument("InorReconfigurer: period <= 0");
+}
+
+UpdateResult InorReconfigurer::update(double time_s,
+                                      const std::vector<double>& delta_t_k,
+                                      double ambient_c) {
+  UpdateResult result;
+  if (has_config_ && time_s + 1e-9 < next_run_time_s_) {
+    result.config = current_;
+    return result;  // between periods: hold
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const teg::TegArray array(device_, delta_t_k, ambient_c);
+  teg::ArrayConfig next = inor_search(array, converter_, options_);
+  result.compute_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.invoked = true;
+  result.switched = !has_config_ || next != current_;
+  result.actuate = true;  // periodic scheme: rebuild on every invocation
+  current_ = std::move(next);
+  has_config_ = true;
+  next_run_time_s_ = time_s + period_s_;
+  result.config = current_;
+  return result;
+}
+
+void InorReconfigurer::reset() {
+  has_config_ = false;
+  next_run_time_s_ = 0.0;
+  current_ = teg::ArrayConfig();
+}
+
+}  // namespace tegrec::core

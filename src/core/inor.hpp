@@ -1,0 +1,65 @@
+// INOR — Instantaneous Near-Optimal Reconfiguration (Algorithm 1).
+//
+// For each candidate group count n in the converter-friendly window
+// [nmin, nmax], INOR places the n-1 interior group boundaries greedily:
+// with IMPP prefix sums, boundary j is advanced until the running group's
+// summed MPP current best matches Iideal = (1/n) * sum IMPP.  Each
+// candidate partition is scored with the charger-aware objective and the
+// best kept.  The greedy pass is O(N) per n and the window size is a
+// device constant, giving the paper's O(N) overall complexity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/reconfigurer.hpp"
+#include "power/converter.hpp"
+#include "teg/array.hpp"
+
+namespace tegrec::core {
+
+struct InorOptions {
+  /// Group-count window; when both are 0 the window is derived from the
+  /// converter via group_count_window().
+  std::size_t nmin = 0;
+  std::size_t nmax = 0;
+};
+
+/// One greedy partition of the modules into exactly n groups balancing the
+/// summed MPP currents (the inner loop of Algorithm 1).  Exposed for tests
+/// and for EHTR's comparison.  Requires 1 <= n <= mpp_currents.size() and
+/// strictly positive currents.
+teg::ArrayConfig inor_partition(const std::vector<double>& mpp_currents,
+                                std::size_t n);
+
+/// Full Algorithm 1: scans the n window, scores each greedy partition with
+/// the charger-aware objective and returns the best configuration.
+teg::ArrayConfig inor_search(const teg::TegArray& array,
+                             const power::Converter& converter,
+                             const InorOptions& options = {});
+
+/// Periodic controller wrapping inor_search: re-runs every `period_s`
+/// (0.5 s in the paper's evaluation, following [5]) and always adopts the
+/// new configuration.
+class InorReconfigurer final : public Reconfigurer {
+ public:
+  InorReconfigurer(const teg::DeviceParams& device,
+                   const power::ConverterParams& converter, double period_s = 0.5,
+                   const InorOptions& options = {});
+
+  std::string name() const override { return "INOR"; }
+  UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
+                      double ambient_c) override;
+  void reset() override;
+
+ private:
+  teg::DeviceParams device_;
+  power::Converter converter_;
+  double period_s_;
+  InorOptions options_;
+  double next_run_time_s_ = 0.0;
+  bool has_config_ = false;
+  teg::ArrayConfig current_;
+};
+
+}  // namespace tegrec::core

@@ -1,0 +1,27 @@
+#include "core/objective.hpp"
+
+namespace tegrec::core {
+
+double config_power_w(const teg::TegArray& array, const power::Converter& converter,
+                      const teg::ArrayConfig& config) {
+  return config_operating_point(array, converter, config).output_power_w;
+}
+
+power::OperatingPoint config_operating_point(const teg::TegArray& array,
+                                             const power::Converter& converter,
+                                             const teg::ArrayConfig& config) {
+  const teg::SeriesString string = array.build_string(config);
+  return power::optimal_operating_point(string, converter);
+}
+
+power::Converter::GroupRange group_count_window(const teg::TegArray& array,
+                                                const power::Converter& converter) {
+  double mean_vmpp = 0.0;
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    mean_vmpp += array.module(i).mpp_voltage_v();
+  }
+  mean_vmpp /= static_cast<double>(array.size());
+  return converter.efficient_group_range(mean_vmpp, array.size());
+}
+
+}  // namespace tegrec::core

@@ -1,0 +1,90 @@
+#include "core/prescient.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+
+namespace tegrec::core {
+
+PrescientReconfigurer::PrescientReconfigurer(
+    const teg::DeviceParams& device, const power::ConverterParams& converter,
+    const thermal::TemperatureTrace& trace, const PrescientParams& params)
+    : device_(device), converter_(converter), trace_(&trace), params_(params) {
+  if (params_.control_period_s <= 0.0 || params_.tp_s <= 0.0) {
+    throw std::invalid_argument("PrescientReconfigurer: non-positive period");
+  }
+  if (trace.num_steps() == 0) {
+    throw std::invalid_argument("PrescientReconfigurer: empty trace");
+  }
+}
+
+double PrescientReconfigurer::future_energy_j(const teg::ArrayConfig& config,
+                                              double from_time_s) const {
+  // True output energy of `config` over [from, from + tp + 1) read straight
+  // from the trace — the quantity DNOR can only estimate.
+  const double dt = trace_->dt_s();
+  const std::size_t first = trace_->step_at_time(from_time_s);
+  const auto steps = static_cast<std::size_t>(
+      std::llround((params_.tp_s + 1.0) / dt));
+  double energy = 0.0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const std::size_t t = first + k;
+    if (t >= trace_->num_steps()) break;
+    const teg::TegArray array(device_, trace_->step_delta_t(t),
+                              trace_->ambient_c(t));
+    energy += config_power_w(array, converter_, config) * dt;
+  }
+  return energy;
+}
+
+UpdateResult PrescientReconfigurer::update(double time_s,
+                                           const std::vector<double>& delta_t_k,
+                                           double ambient_c) {
+  UpdateResult result;
+  if (has_config_ && time_s + 1e-9 < next_decision_time_s_) {
+    result.config = current_;
+    return result;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const teg::TegArray array(device_, delta_t_k, ambient_c);
+  teg::ArrayConfig c_new = inor_search(array, converter_, params_.inor);
+
+  bool adopt = true;
+  if (has_config_ && c_new != current_) {
+    const double e_old = future_energy_j(current_, time_s);
+    const double e_new = future_energy_j(c_new, time_s);
+    const std::size_t toggles = 3 * current_.boundary_distance(c_new);
+    const double p_now = config_power_w(array, converter_, current_);
+    const double e_overhead =
+        switchfab::reconfiguration_cost(params_.overhead, toggles, p_now, 0.0)
+            .energy_j;
+    adopt = e_old <= e_new - e_overhead;  // Algorithm 2's rule, oracle inputs
+  } else if (has_config_) {
+    adopt = false;
+  }
+
+  result.compute_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.invoked = true;
+  if (adopt) {
+    result.switched = !has_config_ || c_new != current_;
+    result.actuate = result.switched;
+    current_ = std::move(c_new);
+    has_config_ = true;
+    if (result.switched) ++switches_;
+  }
+  next_decision_time_s_ = time_s + params_.tp_s + 1.0;
+  result.config = current_;
+  return result;
+}
+
+void PrescientReconfigurer::reset() {
+  next_decision_time_s_ = 0.0;
+  has_config_ = false;
+  current_ = teg::ArrayConfig();
+  switches_ = 0;
+}
+
+}  // namespace tegrec::core

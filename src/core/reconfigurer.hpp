@@ -1,0 +1,45 @@
+// Common interface of all reconfiguration controllers.
+//
+// The simulator calls update() once per control period with the freshly
+// sensed temperature distribution; the controller returns the
+// configuration the array should use until the next call, whether the
+// algorithm actually executed this period (sensing/compute overhead is
+// charged only then), whether the fabric must actuate, and the measured
+// compute time (the paper's "average runtime" column).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "teg/config.hpp"
+
+namespace tegrec::core {
+
+struct UpdateResult {
+  teg::ArrayConfig config;     ///< configuration to use from now on
+  bool invoked = false;        ///< the decision algorithm ran this period
+  bool switched = false;       ///< config differs from the previous one
+  /// The controller commands a fabric rebuild this period.  The periodic
+  /// schemes (INOR, EHTR) rebuild on every invocation — the paper's
+  /// "switching at every time point" — even when the configuration happens
+  /// to repeat; DNOR actuates only when its prediction rule says to.
+  bool actuate = false;
+  double compute_time_s = 0.0; ///< wall-clock cost of this invocation
+};
+
+class Reconfigurer {
+ public:
+  virtual ~Reconfigurer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// `delta_t_k[i]` is module i's sensed face temperature difference at
+  /// `time_s`; `ambient_c` the heatsink temperature.
+  virtual UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
+                              double ambient_c) = 0;
+
+  /// Resets internal state (history, held configuration) for a fresh run.
+  virtual void reset() = 0;
+};
+
+}  // namespace tegrec::core

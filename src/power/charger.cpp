@@ -1,0 +1,19 @@
+#include "power/charger.hpp"
+
+namespace tegrec::power {
+
+Charger::Charger(const ConverterParams& converter_params,
+                 const BatteryParams& battery_params)
+    : converter_(converter_params), battery_(battery_params) {}
+
+OperatingPoint Charger::harvest(const teg::SeriesString& string, double dt_s) {
+  const OperatingPoint pt = optimal_operating_point(string, converter_);
+  battery_.absorb(pt.output_power_w, dt_s);
+  return pt;
+}
+
+double Charger::extractable_power_w(const teg::SeriesString& string) const {
+  return optimal_operating_point(string, converter_).output_power_w;
+}
+
+}  // namespace tegrec::power

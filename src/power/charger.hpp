@@ -1,0 +1,36 @@
+// Charger facade: string -> MPPT -> converter -> battery in one call.
+//
+// This is the "TEG charger" of Section III.B.  Given the array's current
+// series string it finds the operating point (settled MPPT), converts to
+// the battery rail, and pushes the energy into the battery.
+#pragma once
+
+#include "power/battery.hpp"
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
+#include "teg/string.hpp"
+
+namespace tegrec::power {
+
+class Charger {
+ public:
+  Charger(const ConverterParams& converter_params, const BatteryParams& battery_params);
+
+  const Converter& converter() const { return converter_; }
+  const Battery& battery() const { return battery_; }
+
+  /// Harvests from the string for `dt_s` seconds at the tracked operating
+  /// point; returns the operating point used.  Energy lands in battery().
+  OperatingPoint harvest(const teg::SeriesString& string, double dt_s);
+
+  /// Post-converter power the charger would extract right now, without
+  /// advancing the battery — the quantity reconfiguration algorithms
+  /// compare configurations by.
+  double extractable_power_w(const teg::SeriesString& string) const;
+
+ private:
+  Converter converter_;
+  Battery battery_;
+};
+
+}  // namespace tegrec::power

@@ -1,0 +1,58 @@
+#include "power/converter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::power {
+
+Converter::Converter(const ConverterParams& params) : params_(params) {
+  if (params_.output_voltage_v <= 0.0) {
+    throw std::invalid_argument("Converter: output voltage <= 0");
+  }
+  if (params_.eta_peak <= 0.0 || params_.eta_peak > 1.0) {
+    throw std::invalid_argument("Converter: eta_peak out of (0,1]");
+  }
+  if (params_.min_input_v <= 0.0 || params_.max_input_v <= params_.min_input_v) {
+    throw std::invalid_argument("Converter: bad input window");
+  }
+}
+
+bool Converter::input_in_range(double vin_v) const {
+  return vin_v >= params_.min_input_v && vin_v <= params_.max_input_v;
+}
+
+double Converter::efficiency(double vin_v, double pin_w) const {
+  if (!input_in_range(vin_v) || pin_w <= 0.0) return 0.0;
+  const double lr = std::log(vin_v / params_.output_voltage_v);
+  double eta = params_.eta_peak - params_.voltage_penalty * lr * lr;
+  eta = std::clamp(eta, 0.0, params_.eta_peak);
+  // Light-load derating from the fixed loss floor.
+  eta *= pin_w / (pin_w + params_.fixed_loss_w);
+  return eta;
+}
+
+double Converter::output_power_w(double vin_v, double pin_w) const {
+  const double pin = std::min(pin_w, params_.max_input_power_w);
+  return efficiency(vin_v, pin) * pin;
+}
+
+Converter::GroupRange Converter::efficient_group_range(
+    double group_vmpp_v, std::size_t max_groups, double width_factor) const {
+  GroupRange range;
+  if (group_vmpp_v <= 0.0 || max_groups == 0) return range;
+  const double lo = std::max(params_.output_voltage_v / width_factor,
+                             params_.min_input_v);
+  const double hi = std::min(params_.output_voltage_v * width_factor,
+                             params_.max_input_v);
+  auto clamp_groups = [max_groups](double x) {
+    const double r = std::clamp(x, 1.0, static_cast<double>(max_groups));
+    return static_cast<std::size_t>(r);
+  };
+  range.nmin = clamp_groups(std::ceil(lo / group_vmpp_v));
+  range.nmax = clamp_groups(std::floor(hi / group_vmpp_v));
+  if (range.nmax < range.nmin) range.nmax = range.nmin;
+  return range;
+}
+
+}  // namespace tegrec::power

@@ -1,0 +1,73 @@
+#include "power/incremental_conductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::power {
+
+IncrementalConductanceTracker::IncrementalConductanceTracker(double step_a,
+                                                             double tolerance)
+    : step_a_(step_a), tolerance_(tolerance) {
+  if (step_a <= 0.0) {
+    throw std::invalid_argument("IncrementalConductanceTracker: step <= 0");
+  }
+  if (tolerance <= 0.0) {
+    throw std::invalid_argument("IncrementalConductanceTracker: tolerance <= 0");
+  }
+}
+
+void IncrementalConductanceTracker::reset(double current_a) {
+  current_a_ = std::max(0.0, current_a);
+  primed_ = false;
+  converged_ = false;
+}
+
+OperatingPoint IncrementalConductanceTracker::step(
+    const teg::SeriesString& string, const Converter& converter) {
+  OperatingPoint pt;
+  pt.current_a = current_a_;
+  pt.voltage_v = string.voltage_at_current(current_a_);
+  pt.array_power_w = std::max(0.0, string.power_at_current(current_a_));
+  pt.output_power_w = converter.output_power_w(pt.voltage_v, pt.array_power_w);
+
+  double direction = 0.0;
+  if (!primed_ || std::abs(pt.voltage_v - prev_voltage_v_) < 1e-12) {
+    // No voltage increment to measure yet: nudge upward to prime dV.
+    direction = pt.voltage_v > 0.0 ? 1.0 : -1.0;
+    primed_ = true;
+  } else {
+    const double di = pt.current_a - prev_current_a_;
+    const double dv = pt.voltage_v - prev_voltage_v_;
+    const double inc_conductance = di / dv;
+    const double neg_inst = pt.voltage_v > 1e-12
+                                ? -pt.current_a / pt.voltage_v
+                                : -1e12;
+    const double mismatch = inc_conductance - neg_inst;
+    if (std::abs(mismatch) <= tolerance_) {
+      converged_ = true;
+      direction = 0.0;  // hold: no limit cycle, unlike P&O
+    } else {
+      converged_ = false;
+      // For a source with dI/dV = -1/R: mismatch = I/V - 1/R.  Positive
+      // mismatch means V < VMPP (overloaded: current too high) -> back the
+      // current off; negative means V > VMPP -> draw more.
+      direction = mismatch > 0.0 ? -1.0 : 1.0;
+    }
+  }
+  prev_voltage_v_ = pt.voltage_v;
+  prev_current_a_ = pt.current_a;
+  const double isc = string.total_voc_v() / string.total_resistance_ohm();
+  current_a_ = std::clamp(current_a_ + direction * step_a_, 0.0, isc);
+  return pt;
+}
+
+OperatingPoint IncrementalConductanceTracker::run(const teg::SeriesString& string,
+                                                  const Converter& converter,
+                                                  std::size_t iters) {
+  OperatingPoint pt;
+  for (std::size_t k = 0; k < iters; ++k) pt = step(string, converter);
+  return pt;
+}
+
+}  // namespace tegrec::power

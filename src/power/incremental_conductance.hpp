@@ -1,0 +1,47 @@
+// Incremental-conductance MPPT (extension).
+//
+// The classic alternative to perturb & observe: at the array MPP,
+// dP/dV = 0  <=>  dI/dV = -I/V, so the controller compares the measured
+// incremental conductance dI/dV against the instantaneous -I/V and steps
+// the operating current accordingly.  Unlike P&O it does not oscillate
+// once converged (within the step quantisation) and does not lose lock on
+// fast irradiance/temperature ramps.  Included as an ablation/extension
+// point against the paper's P&O charger [10].
+#pragma once
+
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
+#include "teg/string.hpp"
+
+namespace tegrec::power {
+
+class IncrementalConductanceTracker {
+ public:
+  /// `step_a` — current step per iteration; `tolerance` — conductance
+  /// mismatch treated as "at MPP".
+  explicit IncrementalConductanceTracker(double step_a = 0.02,
+                                         double tolerance = 1e-3);
+
+  void reset(double current_a);
+
+  /// One tracking iteration against the live string (tracks the raw array
+  /// MPP; the converter only shapes the reported output power).
+  OperatingPoint step(const teg::SeriesString& string, const Converter& converter);
+
+  OperatingPoint run(const teg::SeriesString& string, const Converter& converter,
+                     std::size_t iters);
+
+  double current_a() const { return current_a_; }
+  bool converged() const { return converged_; }
+
+ private:
+  double step_a_;
+  double tolerance_;
+  double current_a_ = 0.0;
+  double prev_voltage_v_ = 0.0;
+  double prev_current_a_ = 0.0;
+  bool primed_ = false;
+  bool converged_ = false;
+};
+
+}  // namespace tegrec::power

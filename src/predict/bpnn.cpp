@@ -1,0 +1,144 @@
+#include "predict/bpnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::predict {
+
+BpnnPredictor::BpnnPredictor(const BpnnParams& params)
+    : params_(params), rng_(params.seed) {
+  if (params_.lags == 0) throw std::invalid_argument("BpnnPredictor: lags == 0");
+  if (params_.hidden_units == 0) {
+    throw std::invalid_argument("BpnnPredictor: hidden_units == 0");
+  }
+  if (params_.module_stride == 0) {
+    throw std::invalid_argument("BpnnPredictor: module_stride == 0");
+  }
+  initialise_weights();
+}
+
+void BpnnPredictor::initialise_weights() {
+  const std::size_t l = params_.lags;
+  const std::size_t h = params_.hidden_units;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(l));
+  w1_.resize(h * l);
+  b1_.assign(h, 0.0);
+  w2_.resize(h);
+  for (double& w : w1_) w = rng_.gaussian(0.0, scale);
+  for (double& w : w2_) w = rng_.gaussian(0.0, 1.0 / std::sqrt(static_cast<double>(h)));
+  b2_ = 0.0;
+  vw1_.assign(h * l, 0.0);
+  vb1_.assign(h, 0.0);
+  vw2_.assign(h, 0.0);
+  vb2_ = 0.0;
+}
+
+double BpnnPredictor::forward(const std::vector<double>& x_std,
+                              std::vector<double>* hidden_out) const {
+  const std::size_t l = params_.lags;
+  const std::size_t h = params_.hidden_units;
+  double y = b2_;
+  if (hidden_out) hidden_out->resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    double a = b1_[j];
+    for (std::size_t k = 0; k < l; ++k) a += w1_[j * l + k] * x_std[k];
+    const double z = std::tanh(a);
+    if (hidden_out) (*hidden_out)[j] = z;
+    y += w2_[j] * z;
+  }
+  return y;
+}
+
+void BpnnPredictor::fit(const TemperatureHistory& history) {
+  const std::size_t l = params_.lags;
+  if (history.size() <= l) {
+    throw std::invalid_argument("BpnnPredictor::fit: history shorter than lags+1");
+  }
+  // Assemble the pooled training set (subsampled by module_stride).
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (std::size_t t = l; t < history.size(); ++t) {
+    for (std::size_t m = 0; m < history.num_modules(); m += params_.module_stride) {
+      std::vector<double> x(l);
+      for (std::size_t k = 1; k <= l; ++k) x[k - 1] = history.row(t - k)[m];
+      xs.push_back(std::move(x));
+      ys.push_back(history.row(t)[m]);
+    }
+  }
+  // Standardise with pooled statistics (inputs and targets share the
+  // temperature scale, so a single mean/std pair suffices).
+  double sum = 0.0, sq = 0.0;
+  std::size_t count = 0;
+  for (const auto& x : xs) {
+    for (double v : x) {
+      sum += v;
+      sq += v * v;
+      ++count;
+    }
+  }
+  x_mean_ = sum / static_cast<double>(count);
+  x_std_ = std::sqrt(std::max(1e-12, sq / static_cast<double>(count) - x_mean_ * x_mean_));
+  y_mean_ = x_mean_;
+  y_std_ = x_std_;
+
+  const std::size_t h = params_.hidden_units;
+  std::vector<double> hidden(h);
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double mse = 0.0;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    mse = 0.0;
+    for (std::size_t idx : order) {
+      std::vector<double> x_std(l);
+      for (std::size_t k = 0; k < l; ++k) x_std[k] = (xs[idx][k] - x_mean_) / x_std_;
+      const double y_target = (ys[idx] - y_mean_) / y_std_;
+      const double y_hat = forward(x_std, &hidden);
+      const double err = y_hat - y_target;
+      mse += err * err;
+
+      // Backprop through the linear output and tanh hidden layer.
+      const double lr = params_.learning_rate;
+      const double mom = params_.momentum;
+      for (std::size_t j = 0; j < h; ++j) {
+        const double g_w2 = err * hidden[j];
+        vw2_[j] = mom * vw2_[j] - lr * g_w2;
+        const double g_hidden = err * w2_[j] * (1.0 - hidden[j] * hidden[j]);
+        for (std::size_t k = 0; k < l; ++k) {
+          const double g_w1 = g_hidden * x_std[k];
+          vw1_[j * l + k] = mom * vw1_[j * l + k] - lr * g_w1;
+          w1_[j * l + k] += vw1_[j * l + k];
+        }
+        vb1_[j] = mom * vb1_[j] - lr * g_hidden;
+        b1_[j] += vb1_[j];
+        w2_[j] += vw2_[j];
+      }
+      vb2_ = mom * vb2_ - lr * err;
+      b2_ += vb2_;
+    }
+    mse /= static_cast<double>(xs.size());
+  }
+  last_mse_ = mse;
+  fitted_ = true;
+}
+
+std::vector<double> BpnnPredictor::predict_next(
+    const TemperatureHistory& history) const {
+  if (!fitted_) throw std::logic_error("BpnnPredictor: predict before fit");
+  if (history.size() < params_.lags) {
+    throw std::invalid_argument("BpnnPredictor::predict_next: short history");
+  }
+  const std::size_t l = params_.lags;
+  std::vector<double> out(history.num_modules());
+  std::vector<double> x_std(l);
+  for (std::size_t m = 0; m < history.num_modules(); ++m) {
+    const std::vector<double> window = history.lag_window(m, l);
+    for (std::size_t k = 0; k < l; ++k) x_std[k] = (window[k] - x_mean_) / x_std_;
+    out[m] = forward(x_std, nullptr) * y_std_ + y_mean_;
+  }
+  return out;
+}
+
+}  // namespace tegrec::predict

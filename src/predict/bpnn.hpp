@@ -1,0 +1,62 @@
+// Back-propagation neural network predictor (Section IV, [14]).
+//
+// A small fully connected network (L inputs -> H tanh units -> 1 linear
+// output) trained by mini-batch gradient descent with momentum on the same
+// pooled lag-window dataset as MLR.  Inputs and targets are standardised
+// per fit.  Successive fits warm-start from the previous weights so the
+// per-step retraining cost in the online evaluation stays bounded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace tegrec::predict {
+
+struct BpnnParams {
+  std::size_t lags = 4;
+  std::size_t hidden_units = 8;
+  std::size_t epochs = 30;          ///< full passes per fit
+  double learning_rate = 0.05;
+  double momentum = 0.8;
+  std::size_t module_stride = 1;    ///< train on every k-th module (speed knob)
+  std::uint64_t seed = 7;
+};
+
+class BpnnPredictor final : public Predictor {
+ public:
+  explicit BpnnPredictor(const BpnnParams& params = {});
+
+  std::string name() const override { return "BPNN"; }
+  std::size_t num_lags() const override { return params_.lags; }
+  void fit(const TemperatureHistory& history) override;
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> predict_next(const TemperatureHistory& history) const override;
+
+  /// Mean squared training error of the last fit (standardised units).
+  double last_training_mse() const { return last_mse_; }
+
+ private:
+  BpnnParams params_;
+  bool fitted_ = false;
+  double last_mse_ = 0.0;
+
+  // Weights: input->hidden (H x L), hidden bias (H), hidden->output (H),
+  // output bias.
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+  // Momentum buffers, same shapes.
+  std::vector<double> vw1_, vb1_, vw2_;
+  double vb2_ = 0.0;
+  // Standardisation constants of the last fit.
+  double x_mean_ = 0.0, x_std_ = 1.0, y_mean_ = 0.0, y_std_ = 1.0;
+  util::Rng rng_;
+
+  void initialise_weights();
+  double forward(const std::vector<double>& x_std,
+                 std::vector<double>* hidden_out) const;
+};
+
+}  // namespace tegrec::predict

@@ -1,0 +1,77 @@
+#include "predict/ensemble.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace tegrec::predict {
+
+EnsemblePredictor::EnsemblePredictor(
+    std::vector<std::unique_ptr<Predictor>> members)
+    : EnsemblePredictor(std::move(members), {}) {}
+
+EnsemblePredictor::EnsemblePredictor(
+    std::vector<std::unique_ptr<Predictor>> members, std::vector<double> weights)
+    : members_(std::move(members)), weights_(std::move(weights)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("EnsemblePredictor: no members");
+  }
+  for (const auto& m : members_) {
+    if (!m) throw std::invalid_argument("EnsemblePredictor: null member");
+  }
+  if (weights_.empty()) {
+    weights_.assign(members_.size(), 1.0 / static_cast<double>(members_.size()));
+  } else {
+    if (weights_.size() != members_.size()) {
+      throw std::invalid_argument("EnsemblePredictor: weight count mismatch");
+    }
+    double total = 0.0;
+    for (double w : weights_) {
+      if (w < 0.0) throw std::invalid_argument("EnsemblePredictor: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) {
+      throw std::invalid_argument("EnsemblePredictor: weights sum to zero");
+    }
+    for (double& w : weights_) w /= total;
+  }
+}
+
+std::string EnsemblePredictor::name() const {
+  std::ostringstream os;
+  os << "Ensemble(";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    os << members_[i]->name() << (i + 1 < members_.size() ? "+" : "");
+  }
+  os << ")";
+  return os.str();
+}
+
+std::size_t EnsemblePredictor::num_lags() const {
+  std::size_t lags = 1;
+  for (const auto& m : members_) lags = std::max(lags, m->num_lags());
+  return lags;
+}
+
+void EnsemblePredictor::fit(const TemperatureHistory& history) {
+  for (auto& m : members_) m->fit(history);
+}
+
+bool EnsemblePredictor::is_fitted() const {
+  return std::all_of(members_.begin(), members_.end(),
+                     [](const auto& m) { return m->is_fitted(); });
+}
+
+std::vector<double> EnsemblePredictor::predict_next(
+    const TemperatureHistory& history) const {
+  std::vector<double> out(history.num_modules(), 0.0);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const std::vector<double> pred = members_[i]->predict_next(history);
+    for (std::size_t m = 0; m < out.size(); ++m) {
+      out[m] += weights_[i] * pred[m];
+    }
+  }
+  return out;
+}
+
+}  // namespace tegrec::predict

@@ -1,0 +1,40 @@
+// Ensemble predictor (extension): average the forecasts of member models.
+//
+// A uniform (or weighted) mean of diverse predictors reduces variance when
+// the members' errors are weakly correlated — the standard cheap trick to
+// harden a forecaster against regime changes.  Used by the prediction
+// ablation to check whether any combination beats plain MLR on radiator
+// traces (spoiler: rarely, which supports the paper's choice).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace tegrec::predict {
+
+class EnsemblePredictor final : public Predictor {
+ public:
+  /// Uniform weights.
+  explicit EnsemblePredictor(std::vector<std::unique_ptr<Predictor>> members);
+  /// Explicit weights (must match member count; will be normalised; all
+  /// non-negative with a positive sum).
+  EnsemblePredictor(std::vector<std::unique_ptr<Predictor>> members,
+                    std::vector<double> weights);
+
+  std::string name() const override;
+  std::size_t num_lags() const override;  ///< max over members
+  void fit(const TemperatureHistory& history) override;
+  bool is_fitted() const override;
+  std::vector<double> predict_next(const TemperatureHistory& history) const override;
+
+  std::size_t size() const { return members_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<std::unique_ptr<Predictor>> members_;
+  std::vector<double> weights_;
+};
+
+}  // namespace tegrec::predict

@@ -1,0 +1,75 @@
+#include "predict/evaluate.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace tegrec::predict {
+
+namespace {
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+}  // namespace
+
+EvaluationResult evaluate_online(Predictor& predictor,
+                                 const thermal::TemperatureTrace& trace,
+                                 const EvaluationOptions& options) {
+  if (options.window <= predictor.num_lags()) {
+    throw std::invalid_argument("evaluate_online: window must exceed lag order");
+  }
+  if (options.horizon_steps == 0) {
+    throw std::invalid_argument("evaluate_online: zero horizon");
+  }
+  if (options.refit_every == 0) {
+    throw std::invalid_argument("evaluate_online: refit_every == 0");
+  }
+
+  EvaluationResult result;
+  result.predictor_name = predictor.name();
+
+  TemperatureHistory history(trace.num_modules(), options.window);
+  util::RunningStats fit_ms, predict_ms;
+  std::vector<double> flat_actual, flat_forecast;
+  std::size_t steps_since_fit = options.refit_every;  // force first fit
+
+  const std::size_t start_step = trace.step_at_time(options.start_time_s);
+  for (std::size_t t = 0; t + options.horizon_steps < trace.num_steps(); ++t) {
+    history.push(trace.step_temperatures(t));
+    if (t < start_step || history.size() < options.window) continue;
+
+    if (steps_since_fit >= options.refit_every) {
+      const auto t0 = std::chrono::steady_clock::now();
+      predictor.fit(history);
+      fit_ms.add(elapsed_ms(t0));
+      steps_since_fit = 0;
+    }
+    ++steps_since_fit;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto forecast = predictor.predict_horizon(history, options.horizon_steps);
+    predict_ms.add(elapsed_ms(t1));
+
+    const std::vector<double> actual =
+        trace.step_temperatures(t + options.horizon_steps);
+    const std::vector<double>& predicted = forecast.back();
+    const double step_mape = util::mape_percent(actual, predicted);
+    result.time_s.push_back(static_cast<double>(t) * trace.dt_s());
+    result.mape_percent.push_back(step_mape);
+    flat_actual.insert(flat_actual.end(), actual.begin(), actual.end());
+    flat_forecast.insert(flat_forecast.end(), predicted.begin(), predicted.end());
+  }
+
+  if (result.mape_percent.empty()) {
+    throw std::invalid_argument("evaluate_online: trace too short for window");
+  }
+  result.mean_mape_percent = util::mape_percent(flat_actual, flat_forecast);
+  result.max_mape_percent = util::max_value(result.mape_percent);
+  result.mean_fit_time_ms = fit_ms.mean();
+  result.mean_predict_time_ms = predict_ms.mean();
+  return result;
+}
+
+}  // namespace tegrec::predict

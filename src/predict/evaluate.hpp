@@ -1,0 +1,40 @@
+// Online prediction-accuracy evaluation (regenerates the paper's Fig. 5).
+//
+// Walks a TemperatureTrace with a sliding history window; at every step the
+// predictor is refit on the window and asked for an h-step forecast, which
+// is scored against the actual future distribution with MAPE (Eq. 3).
+// Produces both the per-step MAPE time series (Fig. 5's curves) and
+// aggregate statistics (mean/max MAPE, fit and predict wall time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predict/predictor.hpp"
+#include "thermal/trace.hpp"
+
+namespace tegrec::predict {
+
+struct EvaluationOptions {
+  std::size_t window = 30;        ///< sliding history length (steps)
+  std::size_t horizon_steps = 1;  ///< forecast lead (1 step = 1 s at 1 Hz)
+  std::size_t refit_every = 1;    ///< refit cadence (steps)
+  double start_time_s = 0.0;      ///< skip the initial transient
+};
+
+struct EvaluationResult {
+  std::string predictor_name;
+  std::vector<double> time_s;        ///< evaluation timestamps
+  std::vector<double> mape_percent;  ///< per-step MAPE across modules
+  double mean_mape_percent = 0.0;
+  double max_mape_percent = 0.0;
+  double mean_fit_time_ms = 0.0;
+  double mean_predict_time_ms = 0.0;
+};
+
+/// Runs the online evaluation of one predictor over the trace.
+EvaluationResult evaluate_online(Predictor& predictor,
+                                 const thermal::TemperatureTrace& trace,
+                                 const EvaluationOptions& options);
+
+}  // namespace tegrec::predict

@@ -1,0 +1,69 @@
+#include "predict/holt.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::predict {
+
+HoltPredictor::HoltPredictor(const HoltParams& params) : params_(params) {
+  if (params_.alpha <= 0.0 || params_.alpha > 1.0) {
+    throw std::invalid_argument("HoltPredictor: alpha out of (0,1]");
+  }
+  if (params_.beta < 0.0 || params_.beta > 1.0) {
+    throw std::invalid_argument("HoltPredictor: beta out of [0,1]");
+  }
+}
+
+void HoltPredictor::fit(const TemperatureHistory& history) {
+  if (history.size() < 2) {
+    throw std::invalid_argument("HoltPredictor::fit: need >= 2 rows");
+  }
+  const std::size_t n = history.num_modules();
+  level_ = history.row(0);
+  trend_.assign(n, 0.0);
+  for (std::size_t m = 0; m < n; ++m) {
+    trend_[m] = history.row(1)[m] - history.row(0)[m];
+  }
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    const std::vector<double>& obs = history.row(t);
+    for (std::size_t m = 0; m < n; ++m) {
+      const double prev_level = level_[m];
+      level_[m] = params_.alpha * obs[m] +
+                  (1.0 - params_.alpha) * (prev_level + trend_[m]);
+      trend_[m] = params_.beta * (level_[m] - prev_level) +
+                  (1.0 - params_.beta) * trend_[m];
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> HoltPredictor::predict_next(
+    const TemperatureHistory& history) const {
+  if (!fitted_) throw std::logic_error("HoltPredictor: predict before fit");
+  if (history.size() < 2) {
+    throw std::invalid_argument("HoltPredictor::predict_next: need >= 2 rows");
+  }
+  // Holt smoothing carries no learned parameters beyond (alpha, beta), so
+  // the forecast re-runs the recursion over the supplied window.  This
+  // keeps predict_horizon()'s append-and-recurse contract exact: each
+  // appended forecast row advances the smoothing state naturally.
+  const std::size_t n = history.num_modules();
+  std::vector<double> level = history.row(0);
+  std::vector<double> trend(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    trend[m] = history.row(1)[m] - history.row(0)[m];
+  }
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    const std::vector<double>& obs = history.row(t);
+    for (std::size_t m = 0; m < n; ++m) {
+      const double prev_level = level[m];
+      level[m] =
+          params_.alpha * obs[m] + (1.0 - params_.alpha) * (prev_level + trend[m]);
+      trend[m] = params_.beta * (level[m] - prev_level) +
+                 (1.0 - params_.beta) * trend[m];
+    }
+  }
+  for (std::size_t m = 0; m < n; ++m) level[m] += trend[m];
+  return level;
+}
+
+}  // namespace tegrec::predict

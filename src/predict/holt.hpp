@@ -1,0 +1,42 @@
+// Holt double-exponential-smoothing predictor (extension).
+//
+// Not one of the paper's three methods, but the natural "cheapest model
+// that tracks a trend" alternative: per-module level/trend smoothing with
+// O(N) fit and O(N) prediction and no linear algebra at all.  Useful on
+// controllers too small for even the MLR normal equations, and as an
+// ablation point between persistence and MLR.
+#pragma once
+
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace tegrec::predict {
+
+struct HoltParams {
+  double alpha = 0.6;  ///< level smoothing in (0, 1]
+  double beta = 0.2;   ///< trend smoothing in [0, 1]
+};
+
+class HoltPredictor final : public Predictor {
+ public:
+  explicit HoltPredictor(const HoltParams& params = {});
+
+  std::string name() const override { return "Holt"; }
+  std::size_t num_lags() const override { return 2; }
+  void fit(const TemperatureHistory& history) override;
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> predict_next(const TemperatureHistory& history) const override;
+
+  /// Smoothed per-module levels/trends of the last fit (for tests).
+  const std::vector<double>& levels() const { return level_; }
+  const std::vector<double>& trends() const { return trend_; }
+
+ private:
+  HoltParams params_;
+  bool fitted_ = false;
+  std::vector<double> level_;
+  std::vector<double> trend_;
+};
+
+}  // namespace tegrec::predict

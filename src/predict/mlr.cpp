@@ -1,0 +1,58 @@
+#include "predict/mlr.hpp"
+
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+
+namespace tegrec::predict {
+
+MlrPredictor::MlrPredictor(const MlrParams& params) : params_(params) {
+  if (params_.lags == 0) throw std::invalid_argument("MlrPredictor: lags == 0");
+}
+
+void MlrPredictor::fit(const TemperatureHistory& history) {
+  const std::size_t l = params_.lags;
+  if (history.size() <= l) {
+    throw std::invalid_argument("MlrPredictor::fit: history shorter than lags+1");
+  }
+  const std::size_t n_modules = history.num_modules();
+  const std::size_t n_times = history.size() - l;  // targets per module
+  const std::size_t rows = n_modules * n_times;
+
+  util::Matrix x(rows, l + 1);
+  std::vector<double> y(rows);
+  std::size_t r = 0;
+  for (std::size_t t = l; t < history.size(); ++t) {
+    for (std::size_t m = 0; m < n_modules; ++m, ++r) {
+      x(r, 0) = 1.0;
+      // Lag k feature = T_{t-k}; most recent lag first.
+      for (std::size_t k = 1; k <= l; ++k) {
+        x(r, k) = history.row(t - k)[m];
+      }
+      y[r] = history.row(t)[m];
+    }
+  }
+  beta_ = util::least_squares(x, y, params_.ridge);
+  fitted_ = true;
+}
+
+std::vector<double> MlrPredictor::predict_next(
+    const TemperatureHistory& history) const {
+  if (!fitted_) throw std::logic_error("MlrPredictor: predict before fit");
+  if (history.size() < params_.lags) {
+    throw std::invalid_argument("MlrPredictor::predict_next: short history");
+  }
+  const std::size_t n_modules = history.num_modules();
+  std::vector<double> out(n_modules);
+  for (std::size_t m = 0; m < n_modules; ++m) {
+    const std::vector<double> window = history.lag_window(m, params_.lags);
+    double acc = beta_[0];
+    for (std::size_t k = 0; k < params_.lags; ++k) {
+      acc += beta_[k + 1] * window[k];
+    }
+    out[m] = acc;
+  }
+  return out;
+}
+
+}  // namespace tegrec::predict

@@ -1,0 +1,20 @@
+#include "predict/persistence.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::predict {
+
+void PersistencePredictor::fit(const TemperatureHistory& history) {
+  if (history.empty()) {
+    throw std::invalid_argument("PersistencePredictor::fit: empty history");
+  }
+  fitted_ = true;
+}
+
+std::vector<double> PersistencePredictor::predict_next(
+    const TemperatureHistory& history) const {
+  if (!fitted_) throw std::logic_error("PersistencePredictor: predict before fit");
+  return history.latest();
+}
+
+}  // namespace tegrec::predict

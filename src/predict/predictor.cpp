@@ -1,0 +1,26 @@
+#include "predict/predictor.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::predict {
+
+std::vector<std::vector<double>> Predictor::predict_horizon(
+    const TemperatureHistory& history, std::size_t horizon) const {
+  if (horizon == 0) throw std::invalid_argument("predict_horizon: horizon == 0");
+  // Roll the forecast forward on a scratch copy of the history so the
+  // caller's buffer is untouched.
+  TemperatureHistory scratch(history.num_modules(),
+                             history.capacity() + horizon);
+  for (std::size_t r = 0; r < history.size(); ++r) scratch.push(history.row(r));
+
+  std::vector<std::vector<double>> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    std::vector<double> next = predict_next(scratch);
+    scratch.push(next);
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+}  // namespace tegrec::predict

@@ -1,0 +1,40 @@
+// Common interface of the temperature-distribution predictors (Section IV).
+//
+// All predictors are autoregressive on per-module lag windows: the model is
+// fit on every (module, time) pair in the history (pooled across modules so
+// N multiplies the training set), then rolled forward recursively for
+// multi-step horizons.  Implementations: MLR (mlr.hpp), BPNN (bpnn.hpp),
+// SVR (svr.hpp) and a persistence baseline (persistence.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predict/history.hpp"
+
+namespace tegrec::predict {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of lagged samples the model consumes per prediction.
+  virtual std::size_t num_lags() const = 0;
+
+  /// Fits on the history; requires history.size() > num_lags().
+  virtual void fit(const TemperatureHistory& history) = 0;
+
+  virtual bool is_fitted() const = 0;
+
+  /// One-step-ahead forecast of every module's temperature.
+  virtual std::vector<double> predict_next(const TemperatureHistory& history) const = 0;
+
+  /// `horizon`-step forecast by recursive application of predict_next;
+  /// returns one row per future step (horizon rows of N columns).
+  std::vector<std::vector<double>> predict_horizon(
+      const TemperatureHistory& history, std::size_t horizon) const;
+};
+
+}  // namespace tegrec::predict

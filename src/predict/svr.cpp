@@ -1,0 +1,103 @@
+#include "predict/svr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::predict {
+
+SvrPredictor::SvrPredictor(const SvrParams& params) : params_(params) {
+  if (params_.lags == 0) throw std::invalid_argument("SvrPredictor: lags == 0");
+  if (params_.c <= 0.0) throw std::invalid_argument("SvrPredictor: C <= 0");
+  if (params_.epsilon < 0.0) throw std::invalid_argument("SvrPredictor: eps < 0");
+  if (params_.module_stride == 0) {
+    throw std::invalid_argument("SvrPredictor: module_stride == 0");
+  }
+}
+
+void SvrPredictor::fit(const TemperatureHistory& history) {
+  const std::size_t l = params_.lags;
+  if (history.size() <= l) {
+    throw std::invalid_argument("SvrPredictor::fit: history shorter than lags+1");
+  }
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (std::size_t t = l; t < history.size(); ++t) {
+    for (std::size_t m = 0; m < history.num_modules(); m += params_.module_stride) {
+      std::vector<double> x(l);
+      for (std::size_t k = 1; k <= l; ++k) x[k - 1] = history.row(t - k)[m];
+      xs.push_back(std::move(x));
+      ys.push_back(history.row(t)[m]);
+    }
+  }
+  // Pooled standardisation (shared temperature scale).
+  double sum = 0.0, sq = 0.0;
+  std::size_t count = 0;
+  for (const auto& x : xs) {
+    for (double v : x) {
+      sum += v;
+      sq += v * v;
+      ++count;
+    }
+  }
+  x_mean_ = sum / static_cast<double>(count);
+  x_std_ = std::sqrt(std::max(1e-12, sq / static_cast<double>(count) - x_mean_ * x_mean_));
+
+  std::vector<std::vector<double>> xstd(xs.size(), std::vector<double>(l));
+  std::vector<double> ystd(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t k = 0; k < l; ++k) xstd[i][k] = (xs[i][k] - x_mean_) / x_std_;
+    ystd[i] = (ys[i] - x_mean_) / x_std_;
+  }
+
+  w_.assign(l, 0.0);
+  b_ = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(xs.size());
+  for (std::size_t it = 1; it <= params_.iterations; ++it) {
+    // Full-batch subgradient of the primal objective.
+    std::vector<double> gw = w_;  // d/dw of 1/2||w||^2
+    double gb = 0.0;
+    for (std::size_t i = 0; i < xstd.size(); ++i) {
+      double f = b_;
+      for (std::size_t k = 0; k < l; ++k) f += w_[k] * xstd[i][k];
+      const double r = f - ystd[i];
+      if (r > params_.epsilon) {
+        for (std::size_t k = 0; k < l; ++k) gw[k] += params_.c * inv_n * xstd[i][k];
+        gb += params_.c * inv_n;
+      } else if (r < -params_.epsilon) {
+        for (std::size_t k = 0; k < l; ++k) gw[k] -= params_.c * inv_n * xstd[i][k];
+        gb -= params_.c * inv_n;
+      }
+    }
+    const double lr = params_.learning_rate / std::sqrt(static_cast<double>(it));
+    for (std::size_t k = 0; k < l; ++k) w_[k] -= lr * gw[k];
+    b_ -= lr * gb;
+  }
+
+  std::size_t outside = 0;
+  for (std::size_t i = 0; i < xstd.size(); ++i) {
+    double f = b_;
+    for (std::size_t k = 0; k < l; ++k) f += w_[k] * xstd[i][k];
+    if (std::abs(f - ystd[i]) > params_.epsilon) ++outside;
+  }
+  support_fraction_ = static_cast<double>(outside) / static_cast<double>(xstd.size());
+  fitted_ = true;
+}
+
+std::vector<double> SvrPredictor::predict_next(
+    const TemperatureHistory& history) const {
+  if (!fitted_) throw std::logic_error("SvrPredictor: predict before fit");
+  if (history.size() < params_.lags) {
+    throw std::invalid_argument("SvrPredictor::predict_next: short history");
+  }
+  const std::size_t l = params_.lags;
+  std::vector<double> out(history.num_modules());
+  for (std::size_t m = 0; m < history.num_modules(); ++m) {
+    const std::vector<double> window = history.lag_window(m, l);
+    double f = b_;
+    for (std::size_t k = 0; k < l; ++k) f += w_[k] * (window[k] - x_mean_) / x_std_;
+    out[m] = f * x_std_ + x_mean_;
+  }
+  return out;
+}
+
+}  // namespace tegrec::predict

@@ -1,0 +1,54 @@
+// Support vector regression predictor (Section IV, Smola & Schoelkopf [18]).
+//
+// Linear epsilon-insensitive SVR trained in the primal by deterministic
+// subgradient descent:
+//
+//   min_w,b  1/2 ||w||^2 + C * sum max(0, |w.x_i + b - y_i| - eps)
+//
+// on standardised pooled lag windows.  The feature dimension is tiny (the
+// lag order), so the primal solve is fast and exactly reproducible.  The
+// paper finds SVR inferior to MLR for this workload; the reproduction
+// preserves that ordering.
+#pragma once
+
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace tegrec::predict {
+
+struct SvrParams {
+  std::size_t lags = 4;
+  double c = 4.0;               ///< loss weight C
+  double epsilon = 0.02;        ///< insensitive tube half-width (std units)
+  std::size_t iterations = 400; ///< subgradient steps
+  double learning_rate = 0.05;  ///< initial step size (decays as 1/sqrt(t))
+  std::size_t module_stride = 1;///< train on every k-th module (speed knob)
+};
+
+class SvrPredictor final : public Predictor {
+ public:
+  explicit SvrPredictor(const SvrParams& params = {});
+
+  std::string name() const override { return "SVR"; }
+  std::size_t num_lags() const override { return params_.lags; }
+  void fit(const TemperatureHistory& history) override;
+  bool is_fitted() const override { return fitted_; }
+  std::vector<double> predict_next(const TemperatureHistory& history) const override;
+
+  /// Fitted primal weights (standardised feature space), for tests.
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+  /// Fraction of training points outside the eps tube after fitting.
+  double support_fraction() const { return support_fraction_; }
+
+ private:
+  SvrParams params_;
+  bool fitted_ = false;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  double x_mean_ = 0.0, x_std_ = 1.0;
+  double support_fraction_ = 0.0;
+};
+
+}  // namespace tegrec::predict

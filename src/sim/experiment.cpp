@@ -1,0 +1,68 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/dnor.hpp"
+#include "core/ehtr.hpp"
+#include "core/fixed_baseline.hpp"
+#include "core/inor.hpp"
+
+namespace tegrec::sim {
+
+const SimulationResult& ComparisonResult::by_name(const std::string& name) const {
+  for (const SimulationResult& r : runs) {
+    if (r.algorithm == name) return r;
+  }
+  throw std::out_of_range("ComparisonResult: no run named '" + name + "'");
+}
+
+double ComparisonResult::dnor_gain_over_baseline() const {
+  const double base = by_name("Baseline").energy_output_j;
+  if (base <= 0.0) return 0.0;
+  return by_name("DNOR").energy_output_j / base - 1.0;
+}
+
+double ComparisonResult::overhead_reduction_ratio() const {
+  const double dnor = by_name("DNOR").switch_overhead_j;
+  if (dnor <= 0.0) return 0.0;
+  return by_name("EHTR").switch_overhead_j / dnor;
+}
+
+double ComparisonResult::runtime_speedup_ratio() const {
+  const double dnor = by_name("DNOR").avg_runtime_ms;
+  if (dnor <= 0.0) return 0.0;
+  return by_name("EHTR").avg_runtime_ms / dnor;
+}
+
+ComparisonResult run_standard_comparison(const thermal::TemperatureTrace& trace,
+                                         const ComparisonOptions& options) {
+  const teg::DeviceParams device = options.sim.device;
+  const power::ConverterParams charger = options.sim.converter;
+
+  ComparisonResult out;
+  if (options.include_dnor) {
+    core::DnorParams p;
+    p.control_period_s = options.control_period_s;
+    core::DnorReconfigurer dnor(device, charger, p);
+    out.runs.push_back(run_simulation(dnor, trace, options.sim));
+  }
+  if (options.include_inor) {
+    core::InorReconfigurer inor(device, charger, options.control_period_s);
+    out.runs.push_back(run_simulation(inor, trace, options.sim));
+  }
+  if (options.include_ehtr) {
+    core::EhtrReconfigurer ehtr(device, charger, options.control_period_s);
+    out.runs.push_back(run_simulation(ehtr, trace, options.sim));
+  }
+  if (options.include_baseline) {
+    auto baseline =
+        core::FixedBaselineReconfigurer::square_grid(trace.num_modules());
+    out.runs.push_back(run_simulation(baseline, trace, options.sim));
+  }
+  if (out.runs.empty()) {
+    throw std::invalid_argument("run_standard_comparison: no schemes selected");
+  }
+  return out;
+}
+
+}  // namespace tegrec::sim

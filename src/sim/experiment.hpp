@@ -1,0 +1,46 @@
+// Standard multi-scheme experiment harness.
+//
+// Wraps the recurring evaluation pattern of the paper: run DNOR, INOR,
+// EHTR and the fixed baseline over one trace with shared device/charger
+// parameters, and expose the comparison quantities (energy gain over
+// baseline, overhead and runtime ratios) that Table I and Figs. 6-7 are
+// built from.  Benches, examples and integration tests all share this.
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace tegrec::sim {
+
+/// Which controllers to include in a comparison run.
+struct ComparisonOptions {
+  SimulationOptions sim;
+  bool include_dnor = true;
+  bool include_inor = true;
+  bool include_ehtr = true;   ///< O(N^3): disable for very large N
+  bool include_baseline = true;
+  double control_period_s = 0.5;  ///< INOR/EHTR cadence (paper: 0.5 s per [5])
+};
+
+/// Results in a fixed order: DNOR, INOR, EHTR, Baseline (present ones only).
+struct ComparisonResult {
+  std::vector<SimulationResult> runs;
+
+  /// Finds a run by algorithm name; throws std::out_of_range if absent.
+  const SimulationResult& by_name(const std::string& name) const;
+
+  /// DNOR energy gain over the fixed baseline (the paper's "+30%"), as a
+  /// fraction; requires both runs to be present.
+  double dnor_gain_over_baseline() const;
+  /// EHTR/DNOR switch-overhead ratio (the paper's "~100x").
+  double overhead_reduction_ratio() const;
+  /// EHTR/DNOR amortised-runtime ratio (the paper's "~13x").
+  double runtime_speedup_ratio() const;
+};
+
+/// Runs the standard four-scheme comparison on a trace.
+ComparisonResult run_standard_comparison(const thermal::TemperatureTrace& trace,
+                                         const ComparisonOptions& options = {});
+
+}  // namespace tegrec::sim

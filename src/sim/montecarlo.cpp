@@ -1,0 +1,42 @@
+#include "sim/montecarlo.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::sim {
+
+MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options) {
+  if (options.num_seeds == 0) {
+    throw std::invalid_argument("run_monte_carlo: zero seeds");
+  }
+  if (!options.comparison.include_dnor || !options.comparison.include_baseline) {
+    throw std::invalid_argument(
+        "run_monte_carlo: DNOR and baseline must both be enabled");
+  }
+  MonteCarloSummary summary;
+  summary.samples.reserve(options.num_seeds);
+  for (std::size_t k = 0; k < options.num_seeds; ++k) {
+    thermal::TraceGeneratorConfig config = options.base_trace;
+    config.seed = options.first_seed + k;
+    const thermal::TemperatureTrace trace = thermal::generate_trace(config);
+    const ComparisonResult res =
+        run_standard_comparison(trace, options.comparison);
+
+    MonteCarloSample sample;
+    sample.seed = config.seed;
+    sample.dnor_energy_j = res.by_name("DNOR").energy_output_j;
+    sample.baseline_energy_j = res.by_name("Baseline").energy_output_j;
+    sample.gain = res.dnor_gain_over_baseline();
+    sample.dnor_overhead_j = res.by_name("DNOR").switch_overhead_j;
+    sample.dnor_switches =
+        static_cast<double>(res.by_name("DNOR").num_switch_events);
+
+    summary.gain.add(sample.gain);
+    summary.dnor_energy_j.add(sample.dnor_energy_j);
+    summary.dnor_overhead_j.add(sample.dnor_overhead_j);
+    summary.dnor_switches.add(sample.dnor_switches);
+    summary.samples.push_back(sample);
+  }
+  return summary;
+}
+
+}  // namespace tegrec::sim

@@ -1,0 +1,47 @@
+// Monte-Carlo aggregation of the scheme comparison over trace seeds.
+//
+// One synthetic drive is one sample; the paper's headline numbers ("+30%",
+// "~100x") deserve confidence intervals over drives.  This module re-runs
+// the standard comparison across seeds and aggregates the headline metrics
+// with RunningStats (mean / stddev / extrema).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "thermal/trace.hpp"
+#include "util/stats.hpp"
+
+namespace tegrec::sim {
+
+struct MonteCarloOptions {
+  thermal::TraceGeneratorConfig base_trace;  ///< seed field is overwritten
+  ComparisonOptions comparison;
+  std::size_t num_seeds = 10;
+  std::uint64_t first_seed = 1;
+};
+
+/// Per-seed record of the headline metrics.
+struct MonteCarloSample {
+  std::uint64_t seed = 0;
+  double dnor_energy_j = 0.0;
+  double baseline_energy_j = 0.0;
+  double gain = 0.0;              ///< DNOR/baseline - 1
+  double dnor_overhead_j = 0.0;
+  double dnor_switches = 0.0;
+};
+
+struct MonteCarloSummary {
+  std::vector<MonteCarloSample> samples;
+  util::RunningStats gain;        ///< distribution of the "+30%" number
+  util::RunningStats dnor_energy_j;
+  util::RunningStats dnor_overhead_j;
+  util::RunningStats dnor_switches;
+};
+
+/// Runs the comparison for seeds first_seed .. first_seed + num_seeds - 1.
+/// Requires DNOR and the baseline to be enabled in `comparison`.
+MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options);
+
+}  // namespace tegrec::sim

@@ -1,0 +1,71 @@
+// Time-stepped harvesting simulator (Section VI's experimental system).
+//
+// Replays a TemperatureTrace against one reconfiguration controller wired
+// to the full substrate: TEG array -> switch fabric -> MPPT/converter ->
+// battery, with the switching-overhead model charged on every actuation.
+// Produces the per-step power series behind Figs. 6-7 and the 800 s totals
+// of Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/reconfigurer.hpp"
+#include "power/battery.hpp"
+#include "power/converter.hpp"
+#include "switchfab/overhead.hpp"
+#include "teg/device.hpp"
+#include "thermal/trace.hpp"
+
+namespace tegrec::sim {
+
+struct SimulationOptions {
+  teg::DeviceParams device;                   ///< TGM-199-1.4-0.8 by default
+  power::ConverterParams converter;           ///< LTM4607-class charger
+  power::BatteryParams battery;               ///< 13.8 V lead-acid sink
+  switchfab::OverheadParams overhead;         ///< actuation cost model
+  bool charge_overhead = true;                ///< subtract actuation energy
+};
+
+/// One control period of the run.
+struct StepRecord {
+  double time_s = 0.0;
+  double gross_power_w = 0.0;    ///< post-converter power, before overhead
+  double net_power_w = 0.0;      ///< after overhead amortised into the step
+  double ideal_power_w = 0.0;    ///< sum of module MPPs (Fig. 7 normaliser)
+  bool invoked = false;          ///< algorithm executed this period
+  bool switched = false;         ///< fabric actuated this period
+  std::size_t switch_actuations = 0;
+  double overhead_energy_j = 0.0;
+  double compute_time_s = 0.0;
+};
+
+/// Aggregates matching the columns of Table I plus extra diagnostics.
+struct SimulationResult {
+  std::string algorithm;
+  std::vector<StepRecord> steps;
+
+  double energy_output_j = 0.0;      ///< Table I "Energy Output"
+  double switch_overhead_j = 0.0;    ///< Table I "Switch Overhead"
+  double avg_runtime_ms = 0.0;       ///< Table I "Average Runtime" (amortised
+                                     ///< over control periods, see EXPERIMENTS.md)
+  double runtime_per_invocation_ms = 0.0;
+  double ideal_energy_j = 0.0;
+  std::size_t num_invocations = 0;
+  std::size_t num_switch_events = 0;
+  std::size_t total_switch_actuations = 0;
+  double battery_energy_j = 0.0;     ///< energy actually absorbed by the battery
+  double final_soc = 0.0;
+
+  double mean_power_w() const;
+  double ratio_to_ideal() const;
+};
+
+/// Replays `trace` through `controller`.  The controller is reset() first;
+/// the first configuration is installed free of charge (the array has to be
+/// wired somehow before the drive starts).
+SimulationResult run_simulation(core::Reconfigurer& controller,
+                                const thermal::TemperatureTrace& trace,
+                                const SimulationOptions& options = {});
+
+}  // namespace tegrec::sim

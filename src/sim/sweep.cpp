@@ -1,0 +1,47 @@
+#include "sim/sweep.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::sim {
+
+std::vector<SweepPoint> sweep_parameter(
+    const thermal::TraceGeneratorConfig& base, const std::vector<double>& values,
+    const ConfigMutator& mutate, const ComparisonOptions& comparison) {
+  if (values.empty()) throw std::invalid_argument("sweep_parameter: no values");
+  if (!mutate) throw std::invalid_argument("sweep_parameter: null mutator");
+  if (!comparison.include_dnor || !comparison.include_baseline) {
+    throw std::invalid_argument(
+        "sweep_parameter: DNOR and baseline must both be enabled");
+  }
+  std::vector<SweepPoint> out;
+  out.reserve(values.size());
+  for (double value : values) {
+    thermal::TraceGeneratorConfig config = base;
+    mutate(config, value);
+    const thermal::TemperatureTrace trace = thermal::generate_trace(config);
+    const ComparisonResult res = run_standard_comparison(trace, comparison);
+
+    SweepPoint point;
+    point.value = value;
+    point.dnor_energy_j = res.by_name("DNOR").energy_output_j;
+    point.baseline_energy_j = res.by_name("Baseline").energy_output_j;
+    point.gain = res.dnor_gain_over_baseline();
+    point.dnor_ratio_to_ideal = res.by_name("DNOR").ratio_to_ideal();
+    out.push_back(point);
+  }
+  return out;
+}
+
+util::CsvTable sweep_to_csv(const std::string& value_name,
+                            const std::vector<SweepPoint>& points) {
+  util::CsvTable table;
+  table.header = {value_name, "dnor_j", "baseline_j", "gain_percent",
+                  "dnor_ratio"};
+  for (const SweepPoint& p : points) {
+    table.rows.push_back({p.value, p.dnor_energy_j, p.baseline_energy_j,
+                          100.0 * p.gain, p.dnor_ratio_to_ideal});
+  }
+  return table;
+}
+
+}  // namespace tegrec::sim

@@ -1,0 +1,42 @@
+// Scalar parameter sweeps over the end-to-end comparison.
+//
+// Answers "how does the reconfiguration gain move with X?" for any scalar
+// X of the trace-generator configuration (surface coupling, heat-transfer
+// coefficient, module count, ambient...).  The caller supplies a mutator
+// that applies the swept value to a config; the sweep returns one point
+// per value with the headline quantities, ready for CSV/plotting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "thermal/trace.hpp"
+#include "util/csv.hpp"
+
+namespace tegrec::sim {
+
+struct SweepPoint {
+  double value = 0.0;
+  double dnor_energy_j = 0.0;
+  double baseline_energy_j = 0.0;
+  double gain = 0.0;  ///< DNOR/baseline - 1
+  double dnor_ratio_to_ideal = 0.0;
+};
+
+using ConfigMutator =
+    std::function<void(thermal::TraceGeneratorConfig&, double value)>;
+
+/// Runs the DNOR-vs-baseline comparison for every value in `values`,
+/// applying `mutate(config, value)` to a copy of `base` each time.
+std::vector<SweepPoint> sweep_parameter(
+    const thermal::TraceGeneratorConfig& base, const std::vector<double>& values,
+    const ConfigMutator& mutate, const ComparisonOptions& comparison = {});
+
+/// Packs sweep points into a CSV table (columns: value, dnor_j, baseline_j,
+/// gain_percent, dnor_ratio).  `value_name` becomes the first header.
+util::CsvTable sweep_to_csv(const std::string& value_name,
+                            const std::vector<SweepPoint>& points);
+
+}  // namespace tegrec::sim

@@ -1,0 +1,71 @@
+#include "switchfab/switch_network.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::switchfab {
+
+SwitchNetwork::SwitchNetwork(std::size_t num_modules)
+    : SwitchNetwork(num_modules, teg::ArrayConfig::all_parallel(num_modules)) {}
+
+SwitchNetwork::SwitchNetwork(std::size_t num_modules,
+                             const teg::ArrayConfig& initial)
+    : num_modules_(num_modules) {
+  if (num_modules_ < 2) {
+    throw std::invalid_argument("SwitchNetwork: need at least 2 modules");
+  }
+  if (initial.num_modules() != num_modules_) {
+    throw std::invalid_argument("SwitchNetwork: config size mismatch");
+  }
+  cells_.resize(num_modules_ - 1);
+  for (std::size_t i = 0; i + 1 < num_modules_; ++i) {
+    const bool series = initial.is_series_boundary(i);
+    cells_[i].series_closed = series;
+    cells_[i].parallel_top_closed = !series;
+    cells_[i].parallel_bottom_closed = !series;
+  }
+}
+
+const SwitchCell& SwitchNetwork::cell(std::size_t i) const {
+  if (i >= cells_.size()) throw std::out_of_range("SwitchNetwork::cell");
+  return cells_[i];
+}
+
+void SwitchNetwork::set_cell(std::size_t i, bool series) {
+  SwitchCell& c = cells_[i];
+  if (c.series_closed == series) return;
+  // Flipping the connection type actuates all three switches of the cell.
+  c.series_closed = series;
+  c.parallel_top_closed = !series;
+  c.parallel_bottom_closed = !series;
+  total_actuations_ += 3;
+}
+
+std::size_t SwitchNetwork::apply(const teg::ArrayConfig& config) {
+  if (config.num_modules() != num_modules_) {
+    throw std::invalid_argument("SwitchNetwork::apply: config size mismatch");
+  }
+  const std::size_t before = total_actuations_;
+  for (std::size_t i = 0; i + 1 < num_modules_; ++i) {
+    set_cell(i, config.is_series_boundary(i));
+  }
+  const std::size_t actuated = total_actuations_ - before;
+  if (actuated > 0) ++events_;
+  return actuated;
+}
+
+teg::ArrayConfig SwitchNetwork::current_config() const {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i + 1 < num_modules_; ++i) {
+    if (cells_[i].is_series()) starts.push_back(i + 1);
+  }
+  return teg::ArrayConfig(std::move(starts), num_modules_);
+}
+
+bool SwitchNetwork::is_valid() const {
+  for (const SwitchCell& c : cells_) {
+    if (!c.is_valid()) return false;
+  }
+  return true;
+}
+
+}  // namespace tegrec::switchfab

@@ -1,0 +1,67 @@
+// The 3(N-1)-switch reconfiguration fabric of the paper's Fig. 4.
+//
+// Between every pair of adjacent modules i and i+1 sit three switches: a
+// series switch S_S,i in the middle and two parallel switches S_PT,i /
+// S_PB,i on the top and bottom rails.  Exactly one connection type is
+// active per adjacency: series (S_S closed, both parallel open) or parallel
+// (both parallel closed, S_S open).  The network tracks the physical state,
+// applies ArrayConfigs, counts actuations, and rejects invalid states.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "teg/config.hpp"
+
+namespace tegrec::switchfab {
+
+/// State of the three switches of one adjacency cell.
+struct SwitchCell {
+  bool series_closed = false;        ///< S_S,i
+  bool parallel_top_closed = true;   ///< S_PT,i
+  bool parallel_bottom_closed = true;///< S_PB,i
+
+  bool is_series() const { return series_closed; }
+  bool is_valid() const {
+    // Exactly one connection type: series XOR (both parallel).
+    const bool parallel = parallel_top_closed && parallel_bottom_closed;
+    const bool none_parallel = !parallel_top_closed && !parallel_bottom_closed;
+    return (series_closed && none_parallel) || (!series_closed && parallel);
+  }
+};
+
+class SwitchNetwork {
+ public:
+  /// Initial state: the given configuration applied (default all-parallel).
+  explicit SwitchNetwork(std::size_t num_modules);
+  SwitchNetwork(std::size_t num_modules, const teg::ArrayConfig& initial);
+
+  std::size_t num_modules() const { return num_modules_; }
+  std::size_t num_cells() const { return cells_.size(); }
+  const SwitchCell& cell(std::size_t i) const;
+
+  /// Applies a configuration; returns the number of individual switch
+  /// actuations performed (3 per adjacency whose type flips).
+  std::size_t apply(const teg::ArrayConfig& config);
+
+  /// Recovers the ArrayConfig corresponding to the current switch state.
+  teg::ArrayConfig current_config() const;
+
+  /// Lifetime actuation counter (wear tracking).
+  std::size_t total_actuations() const { return total_actuations_; }
+  /// Number of apply() calls that changed at least one switch.
+  std::size_t reconfiguration_events() const { return events_; }
+
+  /// All cells valid (every adjacency has exactly one connection type).
+  bool is_valid() const;
+
+ private:
+  std::size_t num_modules_ = 0;
+  std::vector<SwitchCell> cells_;
+  std::size_t total_actuations_ = 0;
+  std::size_t events_ = 0;
+
+  void set_cell(std::size_t i, bool series);
+};
+
+}  // namespace tegrec::switchfab

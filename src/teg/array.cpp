@@ -1,0 +1,73 @@
+#include "teg/array.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::teg {
+
+TegArray::TegArray(const DeviceParams& params, std::vector<double> delta_t_k,
+                   double ambient_c)
+    : params_(params), delta_t_k_(std::move(delta_t_k)), ambient_c_(ambient_c) {
+  validate(params_);
+  if (delta_t_k_.empty()) throw std::invalid_argument("TegArray: empty array");
+  rebuild_modules();
+}
+
+void TegArray::set_delta_t(std::vector<double> delta_t_k, double ambient_c) {
+  if (delta_t_k.size() != delta_t_k_.size()) {
+    throw std::invalid_argument("TegArray::set_delta_t: size change not allowed");
+  }
+  delta_t_k_ = std::move(delta_t_k);
+  ambient_c_ = ambient_c;
+  rebuild_modules();
+}
+
+void TegArray::rebuild_modules() {
+  modules_.clear();
+  modules_.reserve(delta_t_k_.size());
+  for (double dt : delta_t_k_) {
+    if (dt < 0.0) throw std::invalid_argument("TegArray: negative dT");
+    modules_.push_back(Module::from_delta_t(params_, dt, ambient_c_));
+  }
+}
+
+const Module& TegArray::module(std::size_t i) const {
+  if (i >= modules_.size()) throw std::out_of_range("TegArray::module");
+  return modules_[i];
+}
+
+SeriesString TegArray::build_string(const ArrayConfig& config) const {
+  if (config.num_modules() != modules_.size()) {
+    throw std::invalid_argument("TegArray::build_string: config size mismatch");
+  }
+  std::vector<ParallelGroup> groups;
+  groups.reserve(config.num_groups());
+  for (std::size_t j = 0; j < config.num_groups(); ++j) {
+    std::vector<Module> members(modules_.begin() + static_cast<std::ptrdiff_t>(config.group_begin(j)),
+                                modules_.begin() + static_cast<std::ptrdiff_t>(config.group_end(j)));
+    groups.emplace_back(std::move(members));
+  }
+  return SeriesString(std::move(groups));
+}
+
+double TegArray::mpp_power_w(const ArrayConfig& config) const {
+  return build_string(config).mpp_power_w();
+}
+
+double TegArray::mpp_voltage_v(const ArrayConfig& config) const {
+  return build_string(config).mpp_voltage_v();
+}
+
+double TegArray::ideal_power_w() const {
+  double total = 0.0;
+  for (const Module& m : modules_) total += m.mpp_power_w();
+  return total;
+}
+
+std::vector<double> TegArray::module_mpp_currents() const {
+  std::vector<double> out;
+  out.reserve(modules_.size());
+  for (const Module& m : modules_) out.push_back(m.mpp_current_a());
+  return out;
+}
+
+}  // namespace tegrec::teg

@@ -1,0 +1,56 @@
+// The reconfigurable TEG array: temperatures + configuration -> port model.
+//
+// TegArray binds the device parameters to a per-module temperature
+// distribution and evaluates any ArrayConfig into a SeriesString whose MPP
+// the charger then tracks.  It also provides P_ideal (all modules at their
+// own MPP), the normaliser of the paper's Fig. 7.
+#pragma once
+
+#include <vector>
+
+#include "teg/config.hpp"
+#include "teg/string.hpp"
+
+namespace tegrec::teg {
+
+class TegArray {
+ public:
+  /// `delta_t_k[i]` is module i's face temperature difference; `ambient_c`
+  /// the cold-side (heatsink) temperature used for resistance derating.
+  TegArray(const DeviceParams& params, std::vector<double> delta_t_k,
+           double ambient_c = 25.0);
+
+  std::size_t size() const { return delta_t_k_.size(); }
+  const DeviceParams& device() const { return params_; }
+  const std::vector<double>& delta_t_k() const { return delta_t_k_; }
+  double ambient_c() const { return ambient_c_; }
+
+  /// Updates the temperature distribution (array geometry unchanged).
+  void set_delta_t(std::vector<double> delta_t_k, double ambient_c);
+
+  const Module& module(std::size_t i) const;
+
+  /// Evaluates a configuration into its series-string port model.
+  SeriesString build_string(const ArrayConfig& config) const;
+
+  /// Maximum power of the configuration with an ideal charger (closed form).
+  double mpp_power_w(const ArrayConfig& config) const;
+  /// String voltage at that maximum power point.
+  double mpp_voltage_v(const ArrayConfig& config) const;
+
+  /// Sum of per-module MPPs: the P_ideal upper bound (Fig. 7 normaliser).
+  double ideal_power_w() const;
+
+  /// Per-module MPP currents (input of Algorithm 1).
+  std::vector<double> module_mpp_currents() const;
+
+ private:
+  DeviceParams params_;
+  std::vector<double> delta_t_k_;
+  double ambient_c_ = 25.0;
+  std::vector<Module> modules_;
+
+  void rebuild_modules();
+};
+
+}  // namespace tegrec::teg

@@ -1,0 +1,47 @@
+#include "teg/faults.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::teg {
+
+std::vector<double> apply_faults(const std::vector<double>& delta_t_k,
+                                 const FaultModel& faults) {
+  if (faults.health.size() != delta_t_k.size()) {
+    throw std::invalid_argument("apply_faults: health mask size mismatch");
+  }
+  if (faults.derating < 0.0 || faults.derating > 1.0) {
+    throw std::invalid_argument("apply_faults: derating out of [0,1]");
+  }
+  std::vector<double> out = delta_t_k;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    switch (faults.health[i]) {
+      case ModuleHealth::kHealthy:
+        break;
+      case ModuleHealth::kDegraded:
+        out[i] *= faults.derating;
+        break;
+      case ModuleHealth::kBypassed:
+        out[i] = 0.0;
+        break;
+      case ModuleHealth::kOpen:
+        if (!faults.auto_bypass) {
+          throw std::invalid_argument(
+              "apply_faults: undiagnosed open-circuit module would sever the "
+              "string; bypass it first");
+        }
+        out[i] = 0.0;
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t active_module_count(const FaultModel& faults) {
+  std::size_t count = 0;
+  for (ModuleHealth h : faults.health) {
+    if (h == ModuleHealth::kHealthy || h == ModuleHealth::kDegraded) ++count;
+  }
+  return count;
+}
+
+}  // namespace tegrec::teg

@@ -1,0 +1,49 @@
+// Module fault injection (extension).
+//
+// Field arrays degrade: thermal cycling cracks legs (open circuit),
+// moisture shorts couples, and contact pressure loss derates output.
+// The fault model rewrites a temperature-difference distribution into the
+// *effective electrical* distribution the controllers see:
+//
+//  * kHealthy   — untouched;
+//  * kDegraded  — Seebeck output scaled by `derating` (poor contact);
+//  * kBypassed  — dT forced to 0: the module is electrically removed by
+//                 closing its parallel switches permanently (the Fig. 4
+//                 fabric supports this without extra hardware).
+//
+// An open-circuit failure MUST be mapped to kBypassed by the supervisor —
+// a truly open module in a series group would sever the string; that
+// diagnosis step is modelled by `apply_faults` rejecting kOpen inputs
+// unless `auto_bypass` is set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tegrec::teg {
+
+enum class ModuleHealth {
+  kHealthy,
+  kDegraded,
+  kBypassed,
+  kOpen,  ///< undiagnosed open-circuit failure
+};
+
+struct FaultModel {
+  std::vector<ModuleHealth> health;  ///< one entry per module
+  double derating = 0.5;             ///< output scale for kDegraded
+  /// Map kOpen to kBypassed automatically (diagnosis supervisor present).
+  bool auto_bypass = true;
+};
+
+/// Effective dT distribution after faults: degraded modules are scaled,
+/// bypassed (and auto-bypassed open) modules zeroed.  Throws
+/// std::invalid_argument on size mismatch, derating outside [0, 1], or an
+/// undiagnosed kOpen with auto_bypass == false (the array would be dead).
+std::vector<double> apply_faults(const std::vector<double>& delta_t_k,
+                                 const FaultModel& faults);
+
+/// Number of modules still contributing output (healthy + degraded).
+std::size_t active_module_count(const FaultModel& faults);
+
+}  // namespace tegrec::teg

@@ -1,0 +1,64 @@
+#include "teg/group.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::teg {
+
+ParallelGroup::ParallelGroup(std::vector<Module> modules)
+    : modules_(std::move(modules)) {
+  if (modules_.empty()) {
+    throw std::invalid_argument("ParallelGroup: empty module list");
+  }
+  double g_sum = 0.0;       // sum of conductances
+  double voc_over_r = 0.0;  // Norton current sum
+  for (const Module& m : modules_) {
+    g_sum += 1.0 / m.internal_resistance_ohm();
+    voc_over_r += m.open_circuit_voltage_v() / m.internal_resistance_ohm();
+  }
+  r_eq_ohm_ = 1.0 / g_sum;
+  voc_eq_v_ = voc_over_r * r_eq_ohm_;
+}
+
+double ParallelGroup::voltage_at_current(double current_a) const {
+  return voc_eq_v_ - current_a * r_eq_ohm_;
+}
+
+double ParallelGroup::power_at_current(double current_a) const {
+  return voltage_at_current(current_a) * current_a;
+}
+
+double ParallelGroup::power_at_voltage(double voltage_v) const {
+  return (voc_eq_v_ - voltage_v) / r_eq_ohm_ * voltage_v;
+}
+
+std::vector<double> ParallelGroup::member_currents_at_voltage(
+    double voltage_v) const {
+  std::vector<double> out;
+  out.reserve(modules_.size());
+  for (const Module& m : modules_) {
+    out.push_back(m.current_at_voltage(voltage_v));
+  }
+  return out;
+}
+
+double ParallelGroup::mpp_current_a() const {
+  return voc_eq_v_ / (2.0 * r_eq_ohm_);
+}
+
+double ParallelGroup::mpp_power_w() const {
+  return voc_eq_v_ * voc_eq_v_ / (4.0 * r_eq_ohm_);
+}
+
+double ParallelGroup::ideal_power_w() const {
+  double total = 0.0;
+  for (const Module& m : modules_) total += m.mpp_power_w();
+  return total;
+}
+
+double ParallelGroup::mpp_current_sum_a() const {
+  double total = 0.0;
+  for (const Module& m : modules_) total += m.mpp_current_a();
+  return total;
+}
+
+}  // namespace tegrec::teg

@@ -1,0 +1,62 @@
+// Parallel group of TEG modules: Thevenin equivalent and mismatch loss.
+//
+// Modules wired in parallel share one terminal voltage (paper Fig. 3a).
+// For linear sources (Voc_i, R_i) the parallel combination is again a
+// linear source:
+//
+//   1/R_eq  = sum 1/R_i
+//   Voc_eq  = R_eq * sum (Voc_i / R_i)
+//
+// When hot-side temperatures differ, the cooler modules run above their
+// MPP voltage (or even absorb current) and the group's aggregate maximum
+// power falls below the sum of the individual MPPs — the loss the paper
+// illustrates in Fig. 3 and that reconfiguration minimises.
+#pragma once
+
+#include <vector>
+
+#include "teg/module.hpp"
+
+namespace tegrec::teg {
+
+class ParallelGroup {
+ public:
+  ParallelGroup() = default;
+  explicit ParallelGroup(std::vector<Module> modules);
+
+  std::size_t size() const { return modules_.size(); }
+  bool empty() const { return modules_.empty(); }
+  const std::vector<Module>& modules() const { return modules_; }
+
+  double equivalent_voc_v() const { return voc_eq_v_; }
+  double equivalent_resistance_ohm() const { return r_eq_ohm_; }
+
+  /// Terminal voltage when the group sources `current_a` into the string.
+  double voltage_at_current(double current_a) const;
+  /// Total group output power at a string current.
+  double power_at_current(double current_a) const;
+  /// Total group output power at a terminal voltage.
+  double power_at_voltage(double voltage_v) const;
+
+  /// Current of each member module at a group terminal voltage; negative
+  /// entries mean the module is being back-fed by its neighbours.
+  std::vector<double> member_currents_at_voltage(double voltage_v) const;
+
+  /// Group MPP (of the equivalent source).
+  double mpp_current_a() const;
+  double mpp_power_w() const;
+
+  /// Sum of member MPP powers (upper bound, achieved only when all members
+  /// share the same Voc/R ratio).
+  double ideal_power_w() const;
+
+  /// Sum of member MPP currents — the quantity INOR balances per group.
+  double mpp_current_sum_a() const;
+
+ private:
+  std::vector<Module> modules_;
+  double voc_eq_v_ = 0.0;
+  double r_eq_ohm_ = 0.0;
+};
+
+}  // namespace tegrec::teg

@@ -1,0 +1,50 @@
+#include "teg/string.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::teg {
+
+SeriesString::SeriesString(std::vector<ParallelGroup> groups)
+    : groups_(std::move(groups)) {
+  if (groups_.empty()) {
+    throw std::invalid_argument("SeriesString: empty group list");
+  }
+  for (const ParallelGroup& g : groups_) {
+    voc_v_ += g.equivalent_voc_v();
+    r_ohm_ += g.equivalent_resistance_ohm();
+  }
+}
+
+double SeriesString::voltage_at_current(double current_a) const {
+  return voc_v_ - current_a * r_ohm_;
+}
+
+double SeriesString::power_at_current(double current_a) const {
+  return voltage_at_current(current_a) * current_a;
+}
+
+double SeriesString::mpp_current_a() const { return voc_v_ / (2.0 * r_ohm_); }
+
+double SeriesString::mpp_voltage_v() const { return voc_v_ / 2.0; }
+
+double SeriesString::mpp_power_w() const {
+  return voc_v_ * voc_v_ / (4.0 * r_ohm_);
+}
+
+std::vector<double> SeriesString::group_voltages_at_current(
+    double current_a) const {
+  std::vector<double> out;
+  out.reserve(groups_.size());
+  for (const ParallelGroup& g : groups_) {
+    out.push_back(g.voltage_at_current(current_a));
+  }
+  return out;
+}
+
+double SeriesString::ideal_power_w() const {
+  double total = 0.0;
+  for (const ParallelGroup& g : groups_) total += g.ideal_power_w();
+  return total;
+}
+
+}  // namespace tegrec::teg

@@ -1,0 +1,51 @@
+// Series string of parallel groups: the array's output port model.
+//
+// The reconfigurable array (paper Fig. 4) always reduces to n parallel
+// groups connected in series.  All groups carry the same string current I
+// (paper Fig. 3b); the port behaviour is the series sum of the group
+// Thevenin equivalents:
+//
+//   V(I) = sum Voc_eq_j  -  I * sum R_eq_j
+//
+// so the string itself is one linear source with a closed-form MPP.  The
+// charger's MPPT walks this curve; reconfiguration chooses which linear
+// source the charger sees.
+#pragma once
+
+#include <vector>
+
+#include "teg/group.hpp"
+
+namespace tegrec::teg {
+
+class SeriesString {
+ public:
+  SeriesString() = default;
+  explicit SeriesString(std::vector<ParallelGroup> groups);
+
+  std::size_t num_groups() const { return groups_.size(); }
+  const std::vector<ParallelGroup>& groups() const { return groups_; }
+
+  double total_voc_v() const { return voc_v_; }
+  double total_resistance_ohm() const { return r_ohm_; }
+
+  double voltage_at_current(double current_a) const;
+  double power_at_current(double current_a) const;
+
+  double mpp_current_a() const;
+  double mpp_voltage_v() const;
+  double mpp_power_w() const;
+
+  /// Per-group terminal voltages at a string current (diagnostics).
+  std::vector<double> group_voltages_at_current(double current_a) const;
+
+  /// Sum over groups of the members' individual MPP powers.
+  double ideal_power_w() const;
+
+ private:
+  std::vector<ParallelGroup> groups_;
+  double voc_v_ = 0.0;
+  double r_ohm_ = 0.0;
+};
+
+}  // namespace tegrec::teg

@@ -1,0 +1,57 @@
+#include "teg/string_bank.hpp"
+
+#include <stdexcept>
+
+namespace tegrec::teg {
+
+StringBank::StringBank(std::vector<SeriesString> rows) : rows_(std::move(rows)) {
+  if (rows_.empty()) throw std::invalid_argument("StringBank: no rows");
+  double g_sum = 0.0;
+  double norton = 0.0;
+  for (const SeriesString& s : rows_) {
+    const double r = s.total_resistance_ohm();
+    g_sum += 1.0 / r;
+    norton += s.total_voc_v() / r;
+  }
+  r_eq_ohm_ = 1.0 / g_sum;
+  voc_eq_v_ = norton * r_eq_ohm_;
+}
+
+double StringBank::current_at_voltage(double voltage_v) const {
+  return (voc_eq_v_ - voltage_v) / r_eq_ohm_;
+}
+
+double StringBank::power_at_voltage(double voltage_v) const {
+  return current_at_voltage(voltage_v) * voltage_v;
+}
+
+double StringBank::mpp_current_a() const {
+  return voc_eq_v_ / (2.0 * r_eq_ohm_);
+}
+
+double StringBank::mpp_power_w() const {
+  return voc_eq_v_ * voc_eq_v_ / (4.0 * r_eq_ohm_);
+}
+
+std::vector<double> StringBank::row_currents_at_voltage(double voltage_v) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const SeriesString& s : rows_) {
+    out.push_back((s.total_voc_v() - voltage_v) / s.total_resistance_ohm());
+  }
+  return out;
+}
+
+double StringBank::rowwise_ideal_power_w() const {
+  double total = 0.0;
+  for (const SeriesString& s : rows_) total += s.mpp_power_w();
+  return total;
+}
+
+double StringBank::ideal_power_w() const {
+  double total = 0.0;
+  for (const SeriesString& s : rows_) total += s.ideal_power_w();
+  return total;
+}
+
+}  // namespace tegrec::teg

@@ -1,0 +1,55 @@
+// Bank of series strings in parallel: the 2-D array's output port.
+//
+// Each radiator row carries one reconfigurable sub-array whose port is a
+// series string (Voc_r, R_r); the rows join in parallel at the charger, so
+// they share one terminal voltage.  The parallel combination of linear
+// sources is again linear, giving a closed-form bank MPP — but rows whose
+// MPP voltages disagree back-feed each other exactly like mismatched
+// modules in Fig. 3(a), which is why row-wise reconfiguration should
+// voltage-match the rows (core/bank.hpp).
+#pragma once
+
+#include <vector>
+
+#include "teg/string.hpp"
+
+namespace tegrec::teg {
+
+class StringBank {
+ public:
+  explicit StringBank(std::vector<SeriesString> rows);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<SeriesString>& rows() const { return rows_; }
+
+  double equivalent_voc_v() const { return voc_eq_v_; }
+  double equivalent_resistance_ohm() const { return r_eq_ohm_; }
+
+  /// Total bank current sourced into a terminal voltage.
+  double current_at_voltage(double voltage_v) const;
+  /// Total bank power at a terminal voltage.
+  double power_at_voltage(double voltage_v) const;
+
+  /// Bank MPP (closed form on the equivalent source).
+  double mpp_voltage_v() const { return voc_eq_v_ / 2.0; }
+  double mpp_current_a() const;
+  double mpp_power_w() const;
+
+  /// Per-row currents at a terminal voltage; a negative entry means that
+  /// row is being back-fed by the others (voltage mismatch loss).
+  std::vector<double> row_currents_at_voltage(double voltage_v) const;
+
+  /// Sum over rows of each row's own series-string MPP — what the bank
+  /// would deliver if every row could sit at its own MPP voltage.
+  double rowwise_ideal_power_w() const;
+
+  /// Sum over rows of the per-module ideal power (Fig. 7 normaliser).
+  double ideal_power_w() const;
+
+ private:
+  std::vector<SeriesString> rows_;
+  double voc_eq_v_ = 0.0;
+  double r_eq_ohm_ = 0.0;
+};
+
+}  // namespace tegrec::teg

@@ -1,0 +1,43 @@
+#include "thermal/ambient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tegrec::thermal {
+
+std::vector<double> ambient_series(const AmbientProfile& profile,
+                                   std::size_t num_steps, double dt_s,
+                                   std::uint64_t seed) {
+  if (num_steps == 0) throw std::invalid_argument("ambient_series: zero steps");
+  if (dt_s <= 0.0) throw std::invalid_argument("ambient_series: dt <= 0");
+  if (profile.noise_sigma_c < 0.0) {
+    throw std::invalid_argument("ambient_series: negative noise sigma");
+  }
+  if (profile.sine_period_s <= 0.0) {
+    throw std::invalid_argument("ambient_series: non-positive sine period");
+  }
+  util::Rng rng(seed);
+  const double ou_sigma =
+      profile.noise_sigma_c * std::sqrt(2.0 * profile.noise_reversion);
+  double noise = 0.0;
+  std::vector<double> out(num_steps);
+  for (std::size_t k = 0; k < num_steps; ++k) {
+    const double t = static_cast<double>(k) * dt_s;
+    double value = profile.base_c + profile.drift_c_per_hour * t / 3600.0 +
+                   profile.sine_amplitude_c *
+                       std::sin(2.0 * M_PI * t / profile.sine_period_s);
+    for (const AmbientStepEvent& ev : profile.steps) {
+      if (t >= ev.time_s) value += ev.delta_c;
+    }
+    if (profile.noise_sigma_c > 0.0) {
+      noise = rng.ou_step(noise, 0.0, profile.noise_reversion, ou_sigma, dt_s);
+      value += noise;
+    }
+    out[k] = value;
+  }
+  return out;
+}
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,37 @@
+// Ambient temperature profiles (extension).
+//
+// The paper assumes a constant heatsink/ambient temperature ("typical
+// operating condition").  Real drives cross weather fronts, altitude and
+// tunnels; because the TEG cold side tracks ambient, ambient excursions
+// move every module's dT at once and shift the optimal group count.  The
+// profile model combines a linear drift, a sinusoidal component and
+// optional step events (tunnel entry/exit), plus OU weather noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tegrec::thermal {
+
+struct AmbientStepEvent {
+  double time_s = 0.0;
+  double delta_c = 0.0;   ///< applied from time_s onward
+};
+
+struct AmbientProfile {
+  double base_c = 25.0;
+  double drift_c_per_hour = 0.0;   ///< slow weather/altitude trend
+  double sine_amplitude_c = 0.0;   ///< periodic component amplitude
+  double sine_period_s = 600.0;
+  std::vector<AmbientStepEvent> steps;
+  double noise_sigma_c = 0.0;      ///< OU stationary 1-sigma
+  double noise_reversion = 0.1;    ///< OU mean-reversion rate [1/s]
+};
+
+/// Samples the profile at `num_steps` points spaced `dt_s` apart.
+/// Deterministic for a given seed.
+std::vector<double> ambient_series(const AmbientProfile& profile,
+                                   std::size_t num_steps, double dt_s,
+                                   std::uint64_t seed);
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,128 @@
+#include "thermal/drive_cycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::thermal {
+
+std::vector<DriveSegment> default_porter_cycle() {
+  using K = DriveSegment::Kind;
+  return {
+      {K::kIdle, 40.0, 0.0, 0.0},     // warm idle at departure
+      {K::kUrban, 160.0, 32.0, 0.0},  // stop-and-go city blocks
+      {K::kCruise, 120.0, 62.0, 0.0}, // arterial road
+      {K::kHill, 100.0, 45.0, 5.5},   // loaded climb, peak coolant temp
+      {K::kCruise, 180.0, 88.0, 0.0}, // highway stretch
+      {K::kUrban, 140.0, 28.0, 0.0},  // back into town
+      {K::kIdle, 60.0, 0.0, 0.0},     // final idle
+  };
+}
+
+double engine_power_kw(const VehicleParams& vehicle, double speed_kmh,
+                       double accel_ms2, double grade_percent) {
+  if (speed_kmh < 0.0) throw std::invalid_argument("engine_power_kw: speed < 0");
+  const double v = speed_kmh / 3.6;
+  const double g = 9.81;
+  const double grade = grade_percent / 100.0;
+  const double f_aero = 0.5 * vehicle.air_density_kg_m3 * vehicle.drag_coefficient *
+                        vehicle.frontal_area_m2 * v * v;
+  const double f_roll = vehicle.rolling_resistance * vehicle.mass_kg * g;
+  const double f_grade = vehicle.mass_kg * g * grade;
+  const double f_inertia = vehicle.mass_kg * accel_ms2;
+  const double wheel_power_w = (f_aero + f_roll + f_grade + f_inertia) * v;
+  double engine_w = wheel_power_w / vehicle.driveline_efficiency;
+  engine_w = std::max(engine_w, 0.0);  // no regen on a diesel pickup
+  const double total_kw = vehicle.idle_power_kw + engine_w / 1000.0;
+  return std::min(total_kw, vehicle.max_engine_power_kw);
+}
+
+namespace {
+
+// Smoothly tracks a target speed with bounded acceleration, adding
+// segment-appropriate fluctuation (stop-go oscillation for urban, mild
+// ripple for cruise).
+class SpeedTracker {
+ public:
+  explicit SpeedTracker(util::Rng& rng) : rng_(rng) {}
+
+  double step(const DriveSegment& seg, double t_in_segment, double dt) {
+    double target = seg.target_speed_kmh;
+    switch (seg.kind) {
+      case DriveSegment::Kind::kIdle:
+        target = 0.0;
+        break;
+      case DriveSegment::Kind::kUrban: {
+        // Stop-and-go: ~40 s light cycle, dips to zero at intersections.
+        const double phase = std::sin(2.0 * M_PI * t_in_segment / 42.0);
+        target = seg.target_speed_kmh * std::max(0.0, 0.55 + 0.75 * phase);
+        break;
+      }
+      case DriveSegment::Kind::kCruise:
+        target = seg.target_speed_kmh *
+                 (1.0 + 0.04 * std::sin(2.0 * M_PI * t_in_segment / 60.0));
+        break;
+      case DriveSegment::Kind::kHill:
+        target = seg.target_speed_kmh *
+                 (1.0 + 0.06 * std::sin(2.0 * M_PI * t_in_segment / 35.0));
+        break;
+    }
+    target += rng_.gaussian(0.0, seg.kind == DriveSegment::Kind::kIdle ? 0.0 : 0.8);
+    target = std::max(target, 0.0);
+
+    const double max_accel_kmh_s = 7.5;   // ~2.1 m/s^2
+    const double max_brake_kmh_s = 12.0;  // ~3.3 m/s^2
+    const double delta = std::clamp(target - speed_, -max_brake_kmh_s * dt,
+                                    max_accel_kmh_s * dt);
+    speed_ = std::max(speed_ + delta, 0.0);
+    return speed_;
+  }
+
+  double speed() const { return speed_; }
+
+ private:
+  util::Rng& rng_;
+  double speed_ = 0.0;
+};
+
+}  // namespace
+
+DriveCycle generate_drive_cycle(const std::vector<DriveSegment>& segments,
+                                const VehicleParams& vehicle, double dt_s,
+                                std::uint64_t seed) {
+  if (dt_s <= 0.0) throw std::invalid_argument("generate_drive_cycle: dt <= 0");
+  if (segments.empty()) {
+    throw std::invalid_argument("generate_drive_cycle: no segments");
+  }
+  util::Rng rng(seed);
+  SpeedTracker tracker(rng);
+
+  DriveCycle cycle;
+  cycle.dt_s = dt_s;
+  double prev_speed = 0.0;
+  for (const DriveSegment& seg : segments) {
+    const auto steps = static_cast<std::size_t>(std::llround(seg.duration_s / dt_s));
+    for (std::size_t k = 0; k < steps; ++k) {
+      const double t_in = static_cast<double>(k) * dt_s;
+      const double v = tracker.step(seg, t_in, dt_s);
+      const double accel = (v - prev_speed) / 3.6 / dt_s;
+      cycle.speed_kmh.push_back(v);
+      cycle.engine_power_kw.push_back(
+          engine_power_kw(vehicle, v, accel, seg.grade_percent));
+      prev_speed = v;
+    }
+  }
+  return cycle;
+}
+
+std::string to_string(DriveSegment::Kind kind) {
+  switch (kind) {
+    case DriveSegment::Kind::kIdle: return "idle";
+    case DriveSegment::Kind::kUrban: return "urban";
+    case DriveSegment::Kind::kCruise: return "cruise";
+    case DriveSegment::Kind::kHill: return "hill";
+  }
+  return "unknown";
+}
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,70 @@
+// Synthetic drive-cycle generation.
+//
+// The paper's evaluation uses an 800-second measured drive of a Hyundai
+// Porter II pickup.  Without those traces we synthesise a speed profile
+// from composable segments (idle, stop-and-go urban, cruise, hill climb)
+// whose statistics match a light-truck city/highway mix, then derive
+// engine mechanical power from a longitudinal vehicle load model.  The
+// result feeds the engine thermal model (thermal/engine_thermal.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tegrec::thermal {
+
+/// One homogeneous stretch of driving.
+struct DriveSegment {
+  enum class Kind { kIdle, kUrban, kCruise, kHill };
+  Kind kind = Kind::kIdle;
+  double duration_s = 60.0;
+  double target_speed_kmh = 0.0;  ///< mean speed for urban/cruise/hill
+  double grade_percent = 0.0;     ///< road grade (hill segments)
+};
+
+/// Vehicle constants for the road-load equation (3.0 L diesel pickup).
+struct VehicleParams {
+  double mass_kg = 1900.0;
+  double frontal_area_m2 = 2.7;
+  double drag_coefficient = 0.45;
+  double rolling_resistance = 0.012;
+  double air_density_kg_m3 = 1.184;
+  double driveline_efficiency = 0.9;
+  double idle_power_kw = 4.0;      ///< fuel power at idle (accessories etc.)
+  double max_engine_power_kw = 96.0;
+};
+
+/// Sampled drive cycle: time base plus speed and engine power series.
+struct DriveCycle {
+  double dt_s = 0.1;
+  std::vector<double> speed_kmh;
+  std::vector<double> engine_power_kw;
+
+  std::size_t num_steps() const { return speed_kmh.size(); }
+  double duration_s() const { return dt_s * static_cast<double>(num_steps()); }
+};
+
+/// The default 800 s mixed cycle used by the experiment reproductions:
+/// idle -> urban stop-go -> arterial cruise -> hill climb -> highway ->
+/// urban -> idle, mirroring the temperature swings visible in the paper's
+/// 120 s plots (Figs. 6-7).
+std::vector<DriveSegment> default_porter_cycle();
+
+/// Generates the speed profile for the given segments.  `seed` controls
+/// stochastic speed fluctuation; the same seed reproduces the same cycle.
+DriveCycle generate_drive_cycle(const std::vector<DriveSegment>& segments,
+                                const VehicleParams& vehicle, double dt_s,
+                                std::uint64_t seed);
+
+/// Road-load mechanical power at the wheels for a steady speed/grade, plus
+/// inertial power for the given acceleration; clamped to [0, max engine].
+double engine_power_kw(const VehicleParams& vehicle, double speed_kmh,
+                       double accel_ms2, double grade_percent);
+
+/// Human-readable name of a segment kind (bench/report output).
+std::string to_string(DriveSegment::Kind kind);
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,104 @@
+#include "thermal/engine_thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::thermal {
+
+double thermostat_fraction(const EngineThermalParams& params, double coolant_c) {
+  if (params.thermostat_full_c <= params.thermostat_open_c) {
+    throw std::invalid_argument("thermostat: full-open must exceed open temperature");
+  }
+  if (coolant_c <= params.thermostat_open_c) return params.thermostat_leak;
+  if (coolant_c >= params.thermostat_full_c) return 1.0;
+  const double x = (coolant_c - params.thermostat_open_c) /
+                   (params.thermostat_full_c - params.thermostat_open_c);
+  return params.thermostat_leak + (1.0 - params.thermostat_leak) * x;
+}
+
+double pump_flow_lpm(const EngineThermalParams& params, double engine_power_kw,
+                     double max_engine_power_kw) {
+  if (max_engine_power_kw <= 0.0) {
+    throw std::invalid_argument("pump_flow_lpm: max power <= 0");
+  }
+  const double load = std::clamp(engine_power_kw / max_engine_power_kw, 0.0, 1.0);
+  // Pump speed roughly follows engine speed; take sqrt(load) as an RPM
+  // proxy so flow rises quickly off idle, as on a belt-driven pump.
+  return params.pump_flow_idle_lpm +
+         (params.pump_flow_max_lpm - params.pump_flow_idle_lpm) * std::sqrt(load);
+}
+
+CoolantTrace simulate_cooling_loop(const EngineThermalParams& params,
+                                   const HeatExchangerParams& exchanger,
+                                   const VehicleParams& vehicle,
+                                   const DriveCycle& cycle, std::uint64_t seed,
+                                   const std::vector<double>* ambient_c_series) {
+  if (cycle.num_steps() == 0) {
+    throw std::invalid_argument("simulate_cooling_loop: empty drive cycle");
+  }
+  if (ambient_c_series && ambient_c_series->size() != cycle.num_steps()) {
+    throw std::invalid_argument(
+        "simulate_cooling_loop: ambient series length mismatch");
+  }
+  util::Rng rng(seed);
+  const FluidProperties coolant = coolant_glycol50();
+  const FluidProperties air = ambient_air();
+
+  CoolantTrace trace;
+  trace.dt_s = cycle.dt_s;
+  trace.samples.reserve(cycle.num_steps());
+
+  double t_engine = params.initial_coolant_c;
+  double disturbance_c = 0.0;  // OU combustion/load process noise
+  for (std::size_t k = 0; k < cycle.num_steps(); ++k) {
+    const double ambient_c =
+        ambient_c_series ? (*ambient_c_series)[k] : params.ambient_c;
+    const double speed_ms = cycle.speed_kmh[k] / 3.6;
+    const double fan = t_engine >= params.fan_on_c ? params.fan_air_speed_ms : 0.0;
+    // Even a parked vehicle sees some natural convection through the core;
+    // the grille shutter caps flow at speed.
+    const double air_speed =
+        std::clamp(0.85 * speed_ms + fan, 0.8, params.max_air_speed_ms);
+
+    const double flow_lpm = pump_flow_lpm(params, cycle.engine_power_kw[k],
+                                          vehicle.max_engine_power_kw) *
+                            thermostat_fraction(params, t_engine);
+    const double hot_cap =
+        coolant.capacity_rate_w_k(lpm_to_m3s(std::max(flow_lpm, 1.0)));
+    const double air_flow_m3s = air_speed * params.radiator_face_area_m2;
+    const double cold_cap = air.capacity_rate_w_k(air_flow_m3s);
+
+    StreamConditions cond;
+    cond.hot_inlet_c = t_engine;
+    cond.cold_inlet_c = ambient_c;
+    cond.hot_capacity_w_k = hot_cap;
+    cond.cold_capacity_w_k = cold_cap;
+    const double q_reject =
+        t_engine > ambient_c ? solve(exchanger, cond).heat_rate_w : 0.0;
+
+    const double q_in =
+        params.heat_to_coolant_fraction * cycle.engine_power_kw[k] * 1000.0;
+    t_engine += (q_in - q_reject) / params.thermal_mass_j_k * cycle.dt_s;
+    // sigma_stationary = sigma / sqrt(2 * reversion); scale the OU diffusion
+    // so the configured process_noise_c is the stationary 1-sigma.
+    const double ou_sigma = params.process_noise_c *
+                            std::sqrt(2.0 * params.process_noise_reversion);
+    disturbance_c = rng.ou_step(disturbance_c, 0.0,
+                                params.process_noise_reversion, ou_sigma,
+                                cycle.dt_s);
+
+    CoolantSample s;
+    s.time_s = static_cast<double>(k) * cycle.dt_s;
+    s.coolant_inlet_c =
+        t_engine + disturbance_c + rng.gaussian(0.0, params.temp_noise_c);
+    s.coolant_flow_lpm =
+        std::max(0.5, flow_lpm + rng.gaussian(0.0, params.flow_noise_lpm));
+    s.air_speed_ms = air_speed;
+    s.ambient_c = ambient_c;
+    trace.samples.push_back(s);
+  }
+  return trace;
+}
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,97 @@
+// Engine/coolant lumped thermal model with thermostat and pump dynamics.
+//
+// Produces the two time series the paper measured on the truck: coolant
+// inlet temperature (thermocouple at the radiator entrance) and coolant
+// volumetric flow (Recordall meter).  A single thermal mass integrates the
+// engine's heat-to-coolant power against the radiator's rejection, with a
+// wax thermostat throttling radiator flow below its opening window and a
+// crankshaft-driven pump scaling flow with engine load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "thermal/coolant.hpp"
+#include "thermal/drive_cycle.hpp"
+#include "thermal/heat_exchanger.hpp"
+#include "util/rng.hpp"
+
+namespace tegrec::thermal {
+
+/// Constants of the lumped engine cooling loop.
+struct EngineThermalParams {
+  /// Thermal capacitance of engine block + coolant charge [J/K].
+  double thermal_mass_j_k = 110000.0;
+  /// Fraction of fuel/mechanical power rejected into the coolant.  Diesel
+  /// engines put roughly a third of fuel energy into coolant + EGR.
+  double heat_to_coolant_fraction = 0.62;
+  /// Thermostat starts opening at this coolant temperature [deg C].
+  double thermostat_open_c = 86.0;
+  /// Fully open at this temperature [deg C].
+  double thermostat_full_c = 95.0;
+  /// Minimum bypass leak through a "closed" thermostat (fraction of pump flow).
+  double thermostat_leak = 0.06;
+  /// Pump flow at idle / at rated power [L/min].
+  double pump_flow_idle_lpm = 22.0;
+  double pump_flow_max_lpm = 95.0;
+  /// Cooling fan adds this much air speed when engaged [m/s].
+  double fan_air_speed_ms = 3.5;
+  /// Fan engages above this coolant temperature [deg C].
+  double fan_on_c = 97.0;
+  /// Radiator frontal area for ram air mass flow [m^2].
+  double radiator_face_area_m2 = 0.32;
+  /// Grille-shutter limit on face air velocity [m/s]: modern vehicles cap
+  /// radiator airflow at speed for aero/thermal reasons; this also keeps
+  /// the longitudinal temperature profile steep at highway speed.
+  double max_air_speed_ms = 6.0;
+  /// Initial coolant temperature (warm engine at departure) [deg C].
+  double initial_coolant_c = 84.0;
+  /// Ambient temperature [deg C].
+  double ambient_c = 25.0;
+  /// 1-sigma measurement noise on the thermocouple / flow meter.
+  double temp_noise_c = 0.05;
+  double flow_noise_lpm = 0.5;
+  /// Combustion/load process noise on the coolant temperature, modelled as
+  /// an Ornstein-Uhlenbeck disturbance (deg C, 1-sigma stationary).
+  double process_noise_c = 0.15;
+  double process_noise_reversion = 0.4;  ///< OU mean-reversion rate [1/s]
+};
+
+/// One sample of the cooling-loop state.
+struct CoolantSample {
+  double time_s = 0.0;
+  double coolant_inlet_c = 0.0;   ///< radiator hot-side inlet temperature
+  double coolant_flow_lpm = 0.0;  ///< radiator branch volumetric flow
+  double air_speed_ms = 0.0;      ///< face air velocity (ram + fan)
+  double ambient_c = 0.0;
+};
+
+/// Full cooling-loop trace aligned with a drive cycle.
+struct CoolantTrace {
+  double dt_s = 0.1;
+  std::vector<CoolantSample> samples;
+
+  std::size_t num_steps() const { return samples.size(); }
+  double duration_s() const { return dt_s * static_cast<double>(num_steps()); }
+};
+
+/// Fraction of pump flow routed through the radiator for a coolant
+/// temperature; linear ramp between open and full-open with a closed leak.
+double thermostat_fraction(const EngineThermalParams& params, double coolant_c);
+
+/// Pump volumetric flow for an engine power (load proxy) [L/min].
+double pump_flow_lpm(const EngineThermalParams& params, double engine_power_kw,
+                     double max_engine_power_kw);
+
+/// Integrates the cooling loop over the drive cycle.  The radiator heat
+/// rejection uses the same epsilon-NTU model (`exchanger`) the TEG layer
+/// samples, closing the loop between vehicle load and coolant temperature.
+/// If `ambient_c_series` is non-null it must have one entry per cycle step
+/// and overrides the constant `params.ambient_c` (weather/altitude drives).
+CoolantTrace simulate_cooling_loop(const EngineThermalParams& params,
+                                   const HeatExchangerParams& exchanger,
+                                   const VehicleParams& vehicle,
+                                   const DriveCycle& cycle, std::uint64_t seed,
+                                   const std::vector<double>* ambient_c_series = nullptr);
+
+}  // namespace tegrec::thermal

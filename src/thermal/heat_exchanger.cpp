@@ -1,0 +1,68 @@
+#include "thermal/heat_exchanger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tegrec::thermal {
+
+double crossflow_effectiveness(double ntu, double cr) {
+  if (ntu < 0.0) throw std::invalid_argument("effectiveness: NTU < 0");
+  if (cr < 0.0 || cr > 1.0) throw std::invalid_argument("effectiveness: Cr out of [0,1]");
+  if (ntu == 0.0) return 0.0;
+  if (cr < 1e-12) return 1.0 - std::exp(-ntu);
+  const double n022 = std::pow(ntu, 0.22);
+  const double inner = std::exp(-cr * std::pow(ntu, 0.78)) - 1.0;
+  const double eps = 1.0 - std::exp(n022 / cr * inner);
+  return std::clamp(eps, 0.0, 1.0);
+}
+
+HeatExchangerSolution solve(const HeatExchangerParams& params,
+                            const StreamConditions& cond) {
+  if (cond.hot_capacity_w_k <= 0.0 || cond.cold_capacity_w_k <= 0.0) {
+    throw std::invalid_argument("heat_exchanger::solve: non-positive capacity rate");
+  }
+  if (cond.hot_inlet_c < cond.cold_inlet_c) {
+    throw std::invalid_argument("heat_exchanger::solve: hot inlet below cold inlet");
+  }
+  const double cmin = std::min(cond.hot_capacity_w_k, cond.cold_capacity_w_k);
+  const double cmax = std::max(cond.hot_capacity_w_k, cond.cold_capacity_w_k);
+  const double cr = cmin / cmax;
+
+  HeatExchangerSolution sol;
+  sol.ntu = params.ua_w_k() / cmin;
+  sol.effectiveness = crossflow_effectiveness(sol.ntu, cr);
+  const double qmax = cmin * (cond.hot_inlet_c - cond.cold_inlet_c);
+  sol.heat_rate_w = sol.effectiveness * qmax;
+  sol.hot_outlet_c = cond.hot_inlet_c - sol.heat_rate_w / cond.hot_capacity_w_k;
+  sol.cold_outlet_c = cond.cold_inlet_c + sol.heat_rate_w / cond.cold_capacity_w_k;
+  sol.cold_mean_c = 0.5 * (cond.cold_inlet_c + sol.cold_outlet_c);
+  return sol;
+}
+
+double temperature_at(const HeatExchangerParams& params,
+                      const StreamConditions& cond,
+                      const HeatExchangerSolution& sol, double d_m) {
+  if (d_m < 0.0 || d_m > params.tube_length_m) {
+    throw std::invalid_argument("temperature_at: d outside tube");
+  }
+  // Eq. (1): decay referenced to the cold-stream capacity rate, as in the
+  // paper's derivation.
+  const double decay = std::exp(-params.k_per_length_w_mk / cond.cold_capacity_w_k * d_m);
+  return (cond.hot_inlet_c - sol.cold_mean_c) * decay + sol.cold_mean_c;
+}
+
+std::vector<double> temperature_profile(const HeatExchangerParams& params,
+                                        const StreamConditions& cond,
+                                        std::size_t n) {
+  if (n == 0) throw std::invalid_argument("temperature_profile: n == 0");
+  const HeatExchangerSolution sol = solve(params, cond);
+  std::vector<double> out(n);
+  const double pitch = params.tube_length_m / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = temperature_at(params, cond, sol, (static_cast<double>(i) + 0.5) * pitch);
+  }
+  return out;
+}
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,53 @@
+#include "thermal/radiator2d.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tegrec::thermal {
+
+std::vector<double> row_flow_shares(const Radiator2DLayout& layout) {
+  if (layout.num_rows == 0) {
+    throw std::invalid_argument("row_flow_shares: zero rows");
+  }
+  if (layout.flow_imbalance < 0.0 || layout.flow_imbalance >= 1.0) {
+    throw std::invalid_argument("row_flow_shares: imbalance out of [0,1)");
+  }
+  const std::size_t r = layout.num_rows;
+  std::vector<double> shares(r);
+  double total = 0.0;
+  for (std::size_t i = 0; i < r; ++i) {
+    const double x =
+        r == 1 ? 0.0
+               : -1.0 + 2.0 * static_cast<double>(i) / static_cast<double>(r - 1);
+    shares[i] = 1.0 + layout.flow_imbalance * x;
+    total += shares[i];
+  }
+  for (double& s : shares) s /= total;
+  return shares;
+}
+
+std::vector<std::vector<double>> row_module_temperatures(
+    const Radiator2DLayout& layout, const StreamConditions& total) {
+  const std::vector<double> shares = row_flow_shares(layout);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(layout.num_rows);
+  for (std::size_t r = 0; r < layout.num_rows; ++r) {
+    StreamConditions cond = total;
+    cond.hot_capacity_w_k = total.hot_capacity_w_k * shares[r];
+    cond.cold_capacity_w_k =
+        total.cold_capacity_w_k / static_cast<double>(layout.num_rows);
+    rows.push_back(module_hot_side_temperatures(layout.row, cond));
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> row_module_delta_t(
+    const Radiator2DLayout& layout, const StreamConditions& total) {
+  std::vector<std::vector<double>> rows = row_module_temperatures(layout, total);
+  for (auto& row : rows) {
+    for (double& t : row) t = std::max(0.0, t - total.cold_inlet_c);
+  }
+  return rows;
+}
+
+}  // namespace tegrec::thermal

@@ -1,0 +1,88 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tegrec::util {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (idx >= row.size()) throw std::runtime_error("CsvTable: short row");
+    out.push_back(row[idx]);
+  }
+  return out;
+}
+
+std::string csv_to_string(const CsvTable& table) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    os << table.header[i] << (i + 1 < table.header.size() ? "," : "");
+  }
+  os << '\n';
+  os.precision(12);
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+CsvTable csv_from_string(const std::string& text) {
+  CsvTable table;
+  std::istringstream is(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    if (first) {
+      while (std::getline(ls, cell, ',')) table.header.push_back(cell);
+      first = false;
+      continue;
+    }
+    std::vector<double> row;
+    while (std::getline(ls, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("CSV: non-numeric cell '" + cell + "'");
+      }
+    }
+    if (row.size() != table.header.size()) {
+      throw std::runtime_error("CSV: row width differs from header");
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_csv: cannot open " + path);
+  f << csv_to_string(table);
+  if (!f) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_csv: cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return csv_from_string(buf.str());
+}
+
+}  // namespace tegrec::util

@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing for trace persistence and bench output.
+//
+// The format is deliberately simple: comma separated, first row is an
+// optional header, all payload cells are doubles.  Quoting is not needed
+// because the library never emits strings with commas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tegrec::util {
+
+/// In-memory CSV document with a header row and double-valued cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_cols() const { return header.size(); }
+
+  /// Index of a header column; throws std::out_of_range if absent.
+  std::size_t column_index(const std::string& name) const;
+  /// Extracts a full column by header name.
+  std::vector<double> column(const std::string& name) const;
+};
+
+/// Serialises the table; throws std::runtime_error on IO failure.
+void write_csv(const std::string& path, const CsvTable& table);
+
+/// Parses a CSV file written by write_csv (or hand-authored in the same
+/// dialect).  Throws std::runtime_error on IO failure or malformed rows.
+CsvTable read_csv(const std::string& path);
+
+/// Serialise into a string (used by tests to avoid touching the disk).
+std::string csv_to_string(const CsvTable& table);
+CsvTable csv_from_string(const std::string& text);
+
+}  // namespace tegrec::util

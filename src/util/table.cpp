@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace tegrec::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+TextTable& TextTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& cell) {
+  if (rows_.empty()) throw std::logic_error("TextTable: begin_row first");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+TextTable& TextTable::add(long long value) {
+  return add(std::to_string(value));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace tegrec::util

@@ -1,0 +1,38 @@
+// Fixed-width console table rendering for the benchmark harnesses.
+//
+// All figure/table benches print their reproduction as aligned text tables
+// so the output can be compared against the paper side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tegrec::util {
+
+/// Builder for an aligned text table.  Cells are strings; numeric helpers
+/// format with a fixed precision.  Rendering pads each column to its widest
+/// cell and separates the header with a dashed rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  TextTable& begin_row();
+  TextTable& add(const std::string& cell);
+  TextTable& add(double value, int precision = 3);
+  TextTable& add(long long value);
+
+  /// Renders the full table, including header and rule.
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_fixed(double value, int precision);
+
+}  // namespace tegrec::util

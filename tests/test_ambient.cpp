@@ -1,0 +1,107 @@
+#include "thermal/ambient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thermal/trace.hpp"
+#include "util/stats.hpp"
+
+namespace tegrec::thermal {
+namespace {
+
+TEST(Ambient, ConstantByDefault) {
+  const AmbientProfile profile;
+  const auto series = ambient_series(profile, 100, 0.5, 1);
+  ASSERT_EQ(series.size(), 100u);
+  for (double v : series) EXPECT_DOUBLE_EQ(v, 25.0);
+}
+
+TEST(Ambient, LinearDrift) {
+  AmbientProfile profile;
+  profile.drift_c_per_hour = 3.6;  // 1e-3 C/s
+  const auto series = ambient_series(profile, 1001, 1.0, 1);
+  EXPECT_DOUBLE_EQ(series[0], 25.0);
+  EXPECT_NEAR(series[1000], 26.0, 1e-9);
+}
+
+TEST(Ambient, SinusoidalComponent) {
+  AmbientProfile profile;
+  profile.sine_amplitude_c = 2.0;
+  profile.sine_period_s = 100.0;
+  const auto series = ambient_series(profile, 101, 1.0, 1);
+  EXPECT_NEAR(series[25], 27.0, 1e-9);   // quarter period: +amplitude
+  EXPECT_NEAR(series[75], 23.0, 1e-9);   // three quarters: -amplitude
+  EXPECT_NEAR(series[100], 25.0, 1e-9);  // full period
+}
+
+TEST(Ambient, StepEvents) {
+  AmbientProfile profile;
+  profile.steps = {{50.0, -5.0}, {80.0, 5.0}};  // tunnel in / out
+  const auto series = ambient_series(profile, 101, 1.0, 1);
+  EXPECT_DOUBLE_EQ(series[49], 25.0);
+  EXPECT_DOUBLE_EQ(series[50], 20.0);
+  EXPECT_DOUBLE_EQ(series[79], 20.0);
+  EXPECT_DOUBLE_EQ(series[80], 25.0);
+}
+
+TEST(Ambient, NoiseDeterministicBySeed) {
+  AmbientProfile profile;
+  profile.noise_sigma_c = 0.5;
+  const auto a = ambient_series(profile, 200, 0.5, 7);
+  const auto b = ambient_series(profile, 200, 0.5, 7);
+  const auto c = ambient_series(profile, 200, 0.5, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Noise centred on the base.
+  EXPECT_NEAR(util::mean(a), 25.0, 1.0);
+}
+
+TEST(Ambient, Validation) {
+  const AmbientProfile ok;
+  EXPECT_THROW(ambient_series(ok, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(ambient_series(ok, 10, 0.0, 1), std::invalid_argument);
+  AmbientProfile bad;
+  bad.noise_sigma_c = -1.0;
+  EXPECT_THROW(ambient_series(bad, 10, 1.0, 1), std::invalid_argument);
+  bad = AmbientProfile{};
+  bad.sine_period_s = 0.0;
+  EXPECT_THROW(ambient_series(bad, 10, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Ambient, PropagatesIntoGeneratedTrace) {
+  TraceGeneratorConfig config;
+  config.layout.num_modules = 8;
+  config.segments = {{DriveSegment::Kind::kCruise, 40.0, 50.0, 0.0}};
+  config.ambient.base_c = 25.0;
+  config.ambient.steps = {{20.0, 10.0}};  // heat wave mid-drive
+  config.seed = 3;
+  const TemperatureTrace trace = generate_trace(config);
+  EXPECT_NEAR(trace.ambient_c(trace.step_at_time(5.0)), 25.0, 1e-9);
+  EXPECT_NEAR(trace.ambient_c(trace.step_at_time(30.0)), 35.0, 1e-9);
+}
+
+TEST(Ambient, HotterAmbientShrinksDeltaT) {
+  TraceGeneratorConfig cool;
+  cool.layout.num_modules = 8;
+  cool.segments = {{DriveSegment::Kind::kCruise, 60.0, 50.0, 0.0}};
+  cool.seed = 4;
+  TraceGeneratorConfig hot = cool;
+  hot.ambient.base_c = 40.0;
+  hot.engine.ambient_c = 40.0;  // keep the standalone default coherent
+  const TemperatureTrace t_cool = generate_trace(cool);
+  const TemperatureTrace t_hot = generate_trace(hot);
+  const std::size_t last = t_cool.num_steps() - 1;
+  EXPECT_GT(util::mean(t_cool.step_delta_t(last)),
+            util::mean(t_hot.step_delta_t(last)));
+}
+
+TEST(Ambient, SeriesLengthMismatchRejectedByCoolingLoop) {
+  const DriveCycle cycle = generate_drive_cycle(
+      {{DriveSegment::Kind::kIdle, 10.0, 0.0, 0.0}}, VehicleParams{}, 0.1, 1);
+  const std::vector<double> wrong(cycle.num_steps() + 1, 25.0);
+  EXPECT_THROW(simulate_cooling_loop(EngineThermalParams{}, HeatExchangerParams{},
+                                     VehicleParams{}, cycle, 1, &wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tegrec::thermal

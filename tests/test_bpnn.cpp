@@ -1,0 +1,106 @@
+#include "predict/bpnn.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tegrec::predict {
+namespace {
+
+TemperatureHistory smooth_history(std::size_t modules, std::size_t steps) {
+  TemperatureHistory h(modules, steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<double> row(modules);
+    for (std::size_t m = 0; m < modules; ++m) {
+      row[m] = 85.0 - 2.0 * static_cast<double>(m) +
+               3.0 * std::sin(0.07 * static_cast<double>(t));
+    }
+    h.push(row);
+  }
+  return h;
+}
+
+TEST(Bpnn, LearnsPersistenceLikeMapping) {
+  // On a slowly varying signal the network must land close to the target.
+  BpnnPredictor nn(BpnnParams{.lags = 4, .hidden_units = 8, .epochs = 60});
+  const TemperatureHistory h = smooth_history(6, 40);
+  nn.fit(h);
+  ASSERT_TRUE(nn.is_fitted());
+  const auto pred = nn.predict_next(h);
+  for (std::size_t m = 0; m < 6; ++m) {
+    EXPECT_NEAR(pred[m], h.latest()[m], 1.5) << "module " << m;
+  }
+  EXPECT_LT(nn.last_training_mse(), 0.05);
+}
+
+TEST(Bpnn, DeterministicForSeed) {
+  const BpnnParams params{.lags = 3, .hidden_units = 6, .epochs = 20, .seed = 42};
+  BpnnPredictor a(params), b(params);
+  const TemperatureHistory h = smooth_history(4, 30);
+  a.fit(h);
+  b.fit(h);
+  const auto pa = a.predict_next(h);
+  const auto pb = b.predict_next(h);
+  for (std::size_t m = 0; m < 4; ++m) EXPECT_DOUBLE_EQ(pa[m], pb[m]);
+}
+
+TEST(Bpnn, WarmStartImprovesOverFirstFit) {
+  // Refitting on the same data from the previous weights must not be worse.
+  BpnnPredictor nn(BpnnParams{.lags = 4, .hidden_units = 8, .epochs = 15});
+  const TemperatureHistory h = smooth_history(6, 40);
+  nn.fit(h);
+  const double first = nn.last_training_mse();
+  nn.fit(h);
+  EXPECT_LE(nn.last_training_mse(), first * 1.5);  // no catastrophic reset
+}
+
+TEST(Bpnn, ModuleStrideSubsampling) {
+  BpnnPredictor nn(BpnnParams{.lags = 3, .hidden_units = 6, .epochs = 30,
+                              .module_stride = 3});
+  const TemperatureHistory h = smooth_history(9, 30);
+  nn.fit(h);
+  // Prediction still spans all modules despite subsampled training.
+  EXPECT_EQ(nn.predict_next(h).size(), 9u);
+}
+
+TEST(Bpnn, ErrorsOnMisuse) {
+  EXPECT_THROW(BpnnPredictor(BpnnParams{.lags = 0}), std::invalid_argument);
+  EXPECT_THROW(BpnnPredictor(BpnnParams{.hidden_units = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(BpnnPredictor(BpnnParams{.module_stride = 0}),
+               std::invalid_argument);
+  BpnnPredictor nn;
+  TemperatureHistory h(2, 10);
+  h.push({1.0, 2.0});
+  EXPECT_THROW(nn.fit(h), std::invalid_argument);
+  EXPECT_THROW(nn.predict_next(h), std::logic_error);
+}
+
+TEST(Bpnn, NameAndLags) {
+  BpnnPredictor nn(BpnnParams{.lags = 5});
+  EXPECT_EQ(nn.name(), "BPNN");
+  EXPECT_EQ(nn.num_lags(), 5u);
+}
+
+TEST(Bpnn, HandlesNoisySignalWithoutDiverging) {
+  util::Rng rng(77);
+  BpnnPredictor nn(BpnnParams{.lags = 4, .hidden_units = 8, .epochs = 25});
+  TemperatureHistory h(8, 50);
+  std::vector<double> x(8, 88.0);
+  for (int t = 0; t < 50; ++t) {
+    for (auto& v : x) v += rng.gaussian(0.0, 0.3);
+    h.push(x);
+  }
+  nn.fit(h);
+  const auto pred = nn.predict_next(h);
+  for (double p : pred) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(p, 70.0);
+    EXPECT_LT(p, 105.0);
+  }
+}
+
+}  // namespace
+}  // namespace tegrec::predict

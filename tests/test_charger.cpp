@@ -1,0 +1,59 @@
+#include "power/charger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "teg/array.hpp"
+
+namespace tegrec::power {
+namespace {
+
+const teg::DeviceParams kDev = teg::tgm_199_1_4_0_8();
+
+teg::SeriesString nominal_string() {
+  std::vector<double> dts(50);
+  for (std::size_t i = 0; i < dts.size(); ++i) {
+    dts[i] = 35.0 - 0.4 * static_cast<double>(i);
+  }
+  const teg::TegArray array(kDev, dts);
+  return array.build_string(teg::ArrayConfig::uniform(50, 10));
+}
+
+TEST(Charger, HarvestDeliversEnergyToBattery) {
+  Charger charger(ConverterParams{}, BatteryParams{});
+  const teg::SeriesString s = nominal_string();
+  const OperatingPoint pt = charger.harvest(s, 2.0);
+  EXPECT_GT(pt.output_power_w, 0.0);
+  EXPECT_NEAR(charger.battery().energy_absorbed_j(), pt.output_power_w * 2.0,
+              1e-6);
+}
+
+TEST(Charger, ExtractablePowerMatchesHarvestPoint) {
+  Charger charger(ConverterParams{}, BatteryParams{});
+  const teg::SeriesString s = nominal_string();
+  const double p = charger.extractable_power_w(s);
+  const OperatingPoint pt = charger.harvest(s, 1.0);
+  EXPECT_NEAR(p, pt.output_power_w, 1e-9);
+}
+
+TEST(Charger, ExtractableDoesNotAdvanceBattery) {
+  Charger charger(ConverterParams{}, BatteryParams{});
+  charger.extractable_power_w(nominal_string());
+  EXPECT_DOUBLE_EQ(charger.battery().energy_absorbed_j(), 0.0);
+}
+
+TEST(Charger, RepeatedHarvestAccumulates) {
+  Charger charger(ConverterParams{}, BatteryParams{});
+  const teg::SeriesString s = nominal_string();
+  for (int i = 0; i < 5; ++i) charger.harvest(s, 1.0);
+  const double one = charger.extractable_power_w(s);
+  EXPECT_NEAR(charger.battery().energy_absorbed_j(), 5.0 * one, 1e-6);
+}
+
+TEST(Charger, OutputBelowArrayPower) {
+  Charger charger(ConverterParams{}, BatteryParams{});
+  const OperatingPoint pt = charger.harvest(nominal_string(), 1.0);
+  EXPECT_LT(pt.output_power_w, pt.array_power_w);  // conversion losses
+}
+
+}  // namespace
+}  // namespace tegrec::power

@@ -1,0 +1,70 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+namespace tegrec::util {
+namespace {
+
+CsvTable sample_table() {
+  CsvTable t;
+  t.header = {"time", "value"};
+  t.rows = {{0.0, 1.5}, {0.5, 2.5}, {1.0, -3.25}};
+  return t;
+}
+
+TEST(Csv, StringRoundTrip) {
+  const CsvTable t = sample_table();
+  const CsvTable back = csv_from_string(csv_to_string(t));
+  ASSERT_EQ(back.header, t.header);
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t c = 0; c < t.num_cols(); ++c) {
+      EXPECT_DOUBLE_EQ(back.rows[r][c], t.rows[r][c]);
+    }
+  }
+}
+
+TEST(Csv, ColumnAccess) {
+  const CsvTable t = sample_table();
+  EXPECT_EQ(t.column_index("value"), 1u);
+  EXPECT_EQ(t.column("time"), (std::vector<double>{0.0, 0.5, 1.0}));
+  EXPECT_THROW(t.column_index("missing"), std::out_of_range);
+}
+
+TEST(Csv, MalformedCellThrows) {
+  EXPECT_THROW(csv_from_string("a,b\n1,xyz\n"), std::runtime_error);
+}
+
+TEST(Csv, ShortRowThrows) {
+  EXPECT_THROW(csv_from_string("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(Csv, EmptyLinesSkipped) {
+  const CsvTable t = csv_from_string("a\n\n1\n\n2\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tegrec_csv_test.csv";
+  write_csv(path, sample_table());
+  const CsvTable back = read_csv(path);
+  EXPECT_EQ(back.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(back.rows[2][1], -3.25);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, PrecisionPreserved) {
+  CsvTable t;
+  t.header = {"x"};
+  t.rows = {{3.141592653589}};
+  const CsvTable back = csv_from_string(csv_to_string(t));
+  EXPECT_NEAR(back.rows[0][0], 3.141592653589, 1e-11);
+}
+
+}  // namespace
+}  // namespace tegrec::util

@@ -1,0 +1,56 @@
+#include "teg/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tegrec::teg {
+namespace {
+
+TEST(DeviceParams, Tgm199Defaults) {
+  const DeviceParams p = tgm_199_1_4_0_8();
+  EXPECT_EQ(p.num_couples, 199);
+  EXPECT_GT(p.seebeck_total_v_k(), 0.05);  // ~0.08 V/K module-level
+  EXPECT_LT(p.seebeck_total_v_k(), 0.12);
+  EXPECT_GT(p.internal_resistance_ohm, 1.0);
+  EXPECT_LT(p.internal_resistance_ohm, 2.5);
+}
+
+TEST(DeviceParams, SeebeckTotalIsPerCoupleTimesCouples) {
+  DeviceParams p;
+  p.num_couples = 100;
+  p.seebeck_v_k_couple = 5e-4;
+  EXPECT_DOUBLE_EQ(p.seebeck_total_v_k(), 0.05);
+}
+
+TEST(DeviceParams, ResistanceGrowsWithTemperature) {
+  const DeviceParams p = tgm_199_1_4_0_8();
+  const double r25 = p.resistance_at(25.0);
+  const double r80 = p.resistance_at(80.0);
+  EXPECT_DOUBLE_EQ(r25, p.internal_resistance_ohm);
+  EXPECT_GT(r80, r25);
+  EXPECT_NEAR(r80, r25 * (1.0 + p.resistance_temp_coeff * 55.0), 1e-12);
+}
+
+TEST(DeviceParams, ResistanceClampedAtLowTemperature) {
+  const DeviceParams p = tgm_199_1_4_0_8();
+  // Far below the fit range the clamp prevents non-physical values.
+  EXPECT_GE(p.resistance_at(-300.0), 0.25 * p.internal_resistance_ohm);
+}
+
+TEST(DeviceParams, ValidateRejectsNonsense) {
+  DeviceParams p = tgm_199_1_4_0_8();
+  p.num_couples = 0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = tgm_199_1_4_0_8();
+  p.seebeck_v_k_couple = -1e-4;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = tgm_199_1_4_0_8();
+  p.internal_resistance_ohm = 0.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  p = tgm_199_1_4_0_8();
+  p.max_delta_t_k = 0.0;
+  EXPECT_THROW(validate(p), std::invalid_argument);
+  EXPECT_NO_THROW(validate(tgm_199_1_4_0_8()));
+}
+
+}  // namespace
+}  // namespace tegrec::teg

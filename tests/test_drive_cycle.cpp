@@ -1,0 +1,140 @@
+#include "thermal/drive_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace tegrec::thermal {
+namespace {
+
+TEST(EnginePower, IdleIsAccessoryLoadOnly) {
+  const VehicleParams v;
+  EXPECT_NEAR(engine_power_kw(v, 0.0, 0.0, 0.0), v.idle_power_kw, 1e-9);
+}
+
+TEST(EnginePower, IncreasesWithSpeed) {
+  const VehicleParams v;
+  double prev = 0.0;
+  for (double kmh : {10.0, 30.0, 60.0, 90.0, 120.0}) {
+    const double p = engine_power_kw(v, kmh, 0.0, 0.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(EnginePower, GradeAddsLoad) {
+  const VehicleParams v;
+  const double flat = engine_power_kw(v, 50.0, 0.0, 0.0);
+  const double hill = engine_power_kw(v, 50.0, 0.0, 6.0);
+  EXPECT_GT(hill, flat + 5.0);  // 6% at 50 km/h on 1.9 t: >> 5 kW extra
+}
+
+TEST(EnginePower, ClampedToRating) {
+  const VehicleParams v;
+  EXPECT_LE(engine_power_kw(v, 200.0, 3.0, 15.0), v.max_engine_power_kw);
+}
+
+TEST(EnginePower, NoRegenOnDecel) {
+  const VehicleParams v;
+  // Hard braking: wheel power negative, engine power clamps to accessories.
+  EXPECT_NEAR(engine_power_kw(v, 40.0, -4.0, 0.0), v.idle_power_kw, 1e-9);
+}
+
+TEST(EnginePower, NegativeSpeedThrows) {
+  EXPECT_THROW(engine_power_kw(VehicleParams{}, -1.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(DriveCycle, DurationMatchesSegments) {
+  const auto segments = default_porter_cycle();
+  double expected = 0.0;
+  for (const auto& s : segments) expected += s.duration_s;
+  const DriveCycle cycle =
+      generate_drive_cycle(segments, VehicleParams{}, 0.1, 1);
+  EXPECT_NEAR(cycle.duration_s(), expected, 0.11);
+  EXPECT_EQ(cycle.speed_kmh.size(), cycle.engine_power_kw.size());
+}
+
+TEST(DriveCycle, DefaultCycleIs800Seconds) {
+  const auto segments = default_porter_cycle();
+  double total = 0.0;
+  for (const auto& s : segments) total += s.duration_s;
+  EXPECT_DOUBLE_EQ(total, 800.0);
+}
+
+TEST(DriveCycle, SpeedsNonNegativeAndBounded) {
+  const DriveCycle cycle =
+      generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 2);
+  for (double v : cycle.speed_kmh) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 130.0);
+  }
+}
+
+TEST(DriveCycle, DeterministicForSameSeed) {
+  const auto a = generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 7);
+  const auto b = generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 7);
+  ASSERT_EQ(a.speed_kmh.size(), b.speed_kmh.size());
+  for (std::size_t i = 0; i < a.speed_kmh.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.speed_kmh[i], b.speed_kmh[i]);
+  }
+}
+
+TEST(DriveCycle, DifferentSeedsDiffer) {
+  const auto a = generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 1);
+  const auto b = generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 2);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.speed_kmh.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.speed_kmh[i] - b.speed_kmh[i]));
+  }
+  EXPECT_GT(max_diff, 0.5);
+}
+
+TEST(DriveCycle, AccelerationBounded) {
+  const DriveCycle cycle =
+      generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 3);
+  for (std::size_t i = 1; i < cycle.speed_kmh.size(); ++i) {
+    const double accel_kmh_s = (cycle.speed_kmh[i] - cycle.speed_kmh[i - 1]) / 0.1;
+    EXPECT_LE(accel_kmh_s, 7.6);
+    EXPECT_GE(accel_kmh_s, -12.1);
+  }
+}
+
+TEST(DriveCycle, UrbanSegmentsReachStops) {
+  // The stop-and-go model must actually bring the truck to (near) rest.
+  std::vector<DriveSegment> segments{
+      {DriveSegment::Kind::kUrban, 200.0, 35.0, 0.0}};
+  const DriveCycle cycle = generate_drive_cycle(segments, VehicleParams{}, 0.1, 4);
+  double min_speed = 1e9;
+  // Skip the initial ramp from standstill.
+  for (std::size_t i = 300; i < cycle.speed_kmh.size(); ++i) {
+    min_speed = std::min(min_speed, cycle.speed_kmh[i]);
+  }
+  EXPECT_LT(min_speed, 3.0);
+}
+
+TEST(DriveCycle, HighwaySegmentsHoldCruise) {
+  std::vector<DriveSegment> segments{
+      {DriveSegment::Kind::kCruise, 120.0, 90.0, 0.0}};
+  const DriveCycle cycle = generate_drive_cycle(segments, VehicleParams{}, 0.1, 5);
+  std::vector<double> tail(cycle.speed_kmh.begin() + 600, cycle.speed_kmh.end());
+  EXPECT_NEAR(util::mean(tail), 90.0, 8.0);
+}
+
+TEST(DriveCycle, InvalidArgsThrow) {
+  EXPECT_THROW(generate_drive_cycle({}, VehicleParams{}, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.0, 1),
+      std::invalid_argument);
+}
+
+TEST(DriveCycle, SegmentKindNames) {
+  EXPECT_EQ(to_string(DriveSegment::Kind::kIdle), "idle");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kUrban), "urban");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kCruise), "cruise");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kHill), "hill");
+}
+
+}  // namespace
+}  // namespace tegrec::thermal

@@ -1,0 +1,137 @@
+#include "thermal/engine_thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace tegrec::thermal {
+namespace {
+
+TEST(Thermostat, ClosedBelowOpening) {
+  const EngineThermalParams p;
+  EXPECT_DOUBLE_EQ(thermostat_fraction(p, 60.0), p.thermostat_leak);
+  EXPECT_DOUBLE_EQ(thermostat_fraction(p, p.thermostat_open_c), p.thermostat_leak);
+}
+
+TEST(Thermostat, FullyOpenAboveWindow) {
+  const EngineThermalParams p;
+  EXPECT_DOUBLE_EQ(thermostat_fraction(p, p.thermostat_full_c), 1.0);
+  EXPECT_DOUBLE_EQ(thermostat_fraction(p, 110.0), 1.0);
+}
+
+TEST(Thermostat, LinearRampInWindow) {
+  const EngineThermalParams p;
+  const double mid = 0.5 * (p.thermostat_open_c + p.thermostat_full_c);
+  const double expected = p.thermostat_leak + (1.0 - p.thermostat_leak) * 0.5;
+  EXPECT_NEAR(thermostat_fraction(p, mid), expected, 1e-12);
+}
+
+TEST(Thermostat, MonotoneInTemperature) {
+  const EngineThermalParams p;
+  double prev = 0.0;
+  for (double t = 80.0; t <= 100.0; t += 0.5) {
+    const double f = thermostat_fraction(p, t);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Thermostat, DegenerateWindowThrows) {
+  EngineThermalParams p;
+  p.thermostat_full_c = p.thermostat_open_c;
+  EXPECT_THROW(thermostat_fraction(p, 90.0), std::invalid_argument);
+}
+
+TEST(PumpFlow, IdleAndMaxEndpoints) {
+  const EngineThermalParams p;
+  EXPECT_NEAR(pump_flow_lpm(p, 0.0, 96.0), p.pump_flow_idle_lpm, 1e-9);
+  EXPECT_NEAR(pump_flow_lpm(p, 96.0, 96.0), p.pump_flow_max_lpm, 1e-9);
+}
+
+TEST(PumpFlow, MonotoneInLoad) {
+  const EngineThermalParams p;
+  double prev = 0.0;
+  for (double load_kw : {0.0, 10.0, 30.0, 60.0, 96.0}) {
+    const double f = pump_flow_lpm(p, load_kw, 96.0);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(PumpFlow, BadRatingThrows) {
+  EXPECT_THROW(pump_flow_lpm(EngineThermalParams{}, 10.0, 0.0),
+               std::invalid_argument);
+}
+
+class CoolingLoopTest : public ::testing::Test {
+ protected:
+  CoolantTrace run(std::uint64_t seed = 11) const {
+    const DriveCycle cycle =
+        generate_drive_cycle(default_porter_cycle(), vehicle_, 0.1, seed);
+    return simulate_cooling_loop(params_, exchanger_, vehicle_, cycle, seed);
+  }
+  EngineThermalParams params_;
+  HeatExchangerParams exchanger_;
+  VehicleParams vehicle_;
+};
+
+TEST_F(CoolingLoopTest, TemperatureRegulatedInPlausibleBand) {
+  const CoolantTrace trace = run();
+  for (const CoolantSample& s : trace.samples) {
+    EXPECT_GT(s.coolant_inlet_c, 70.0) << "t=" << s.time_s;
+    EXPECT_LT(s.coolant_inlet_c, 112.0) << "t=" << s.time_s;
+  }
+}
+
+TEST_F(CoolingLoopTest, ThermostatKeepsLongRunAverageNearWindow) {
+  const CoolantTrace trace = run();
+  std::vector<double> temps;
+  for (const auto& s : trace.samples) temps.push_back(s.coolant_inlet_c);
+  const double avg = util::mean(temps);
+  EXPECT_GT(avg, params_.thermostat_open_c - 6.0);
+  EXPECT_LT(avg, params_.thermostat_full_c + 6.0);
+}
+
+TEST_F(CoolingLoopTest, FlowWithinPumpEnvelope) {
+  const CoolantTrace trace = run();
+  for (const CoolantSample& s : trace.samples) {
+    EXPECT_GE(s.coolant_flow_lpm, 0.5);
+    EXPECT_LE(s.coolant_flow_lpm, params_.pump_flow_max_lpm + 3.0);
+  }
+}
+
+TEST_F(CoolingLoopTest, AirSpeedRespectsShutterCap) {
+  const CoolantTrace trace = run();
+  for (const CoolantSample& s : trace.samples) {
+    EXPECT_GE(s.air_speed_ms, 0.8);
+    EXPECT_LE(s.air_speed_ms, params_.max_air_speed_ms + 1e-9);
+  }
+}
+
+TEST_F(CoolingLoopTest, DeterministicForSeed) {
+  const CoolantTrace a = run(3);
+  const CoolantTrace b = run(3);
+  ASSERT_EQ(a.num_steps(), b.num_steps());
+  for (std::size_t i = 0; i < a.num_steps(); i += 97) {
+    EXPECT_DOUBLE_EQ(a.samples[i].coolant_inlet_c, b.samples[i].coolant_inlet_c);
+    EXPECT_DOUBLE_EQ(a.samples[i].coolant_flow_lpm, b.samples[i].coolant_flow_lpm);
+  }
+}
+
+TEST_F(CoolingLoopTest, TemperatureActuallyFluctuates) {
+  // The paper's trace shows "radical temperature fluctuation"; the synthetic
+  // one must not be a flat line.
+  const CoolantTrace trace = run();
+  std::vector<double> temps;
+  for (const auto& s : trace.samples) temps.push_back(s.coolant_inlet_c);
+  EXPECT_GT(util::max_value(temps) - util::min_value(temps), 3.0);
+}
+
+TEST_F(CoolingLoopTest, EmptyCycleThrows) {
+  EXPECT_THROW(
+      simulate_cooling_loop(params_, exchanger_, vehicle_, DriveCycle{}, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tegrec::thermal

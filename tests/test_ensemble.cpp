@@ -1,0 +1,105 @@
+#include "predict/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/holt.hpp"
+#include "predict/mlr.hpp"
+#include "predict/persistence.hpp"
+
+namespace tegrec::predict {
+namespace {
+
+std::vector<std::unique_ptr<Predictor>> mlr_and_persistence() {
+  std::vector<std::unique_ptr<Predictor>> members;
+  members.push_back(std::make_unique<MlrPredictor>());
+  members.push_back(std::make_unique<PersistencePredictor>());
+  return members;
+}
+
+TemperatureHistory ramp_history(std::size_t modules, std::size_t steps) {
+  TemperatureHistory h(modules, steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::vector<double> row(modules);
+    for (std::size_t m = 0; m < modules; ++m) {
+      row[m] = 60.0 + 0.4 * static_cast<double>(t) + 3.0 * static_cast<double>(m);
+    }
+    h.push(row);
+  }
+  return h;
+}
+
+TEST(Ensemble, UniformAverageOfMembers) {
+  EnsemblePredictor ensemble(mlr_and_persistence());
+  const TemperatureHistory h = ramp_history(3, 20);
+  ensemble.fit(h);
+  ASSERT_TRUE(ensemble.is_fitted());
+
+  MlrPredictor mlr;
+  PersistencePredictor naive;
+  mlr.fit(h);
+  naive.fit(h);
+  const auto p_ens = ensemble.predict_next(h);
+  const auto p_mlr = mlr.predict_next(h);
+  const auto p_naive = naive.predict_next(h);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_NEAR(p_ens[m], 0.5 * (p_mlr[m] + p_naive[m]), 1e-9);
+  }
+}
+
+TEST(Ensemble, WeightsNormalised) {
+  EnsemblePredictor ensemble(mlr_and_persistence(), {3.0, 1.0});
+  EXPECT_NEAR(ensemble.weights()[0], 0.75, 1e-12);
+  EXPECT_NEAR(ensemble.weights()[1], 0.25, 1e-12);
+}
+
+TEST(Ensemble, DegenerateWeightFullyTrustsOneMember) {
+  EnsemblePredictor ensemble(mlr_and_persistence(), {1.0, 0.0});
+  const TemperatureHistory h = ramp_history(2, 20);
+  ensemble.fit(h);
+  MlrPredictor mlr;
+  mlr.fit(h);
+  const auto p_ens = ensemble.predict_next(h);
+  const auto p_mlr = mlr.predict_next(h);
+  for (std::size_t m = 0; m < 2; ++m) EXPECT_NEAR(p_ens[m], p_mlr[m], 1e-9);
+}
+
+TEST(Ensemble, NameAndLags) {
+  std::vector<std::unique_ptr<Predictor>> members;
+  members.push_back(std::make_unique<MlrPredictor>(MlrParams{.lags = 6}));
+  members.push_back(std::make_unique<HoltPredictor>());
+  EnsemblePredictor ensemble(std::move(members));
+  EXPECT_EQ(ensemble.name(), "Ensemble(MLR+Holt)");
+  EXPECT_EQ(ensemble.num_lags(), 6u);  // max over members
+  EXPECT_EQ(ensemble.size(), 2u);
+}
+
+TEST(Ensemble, Validation) {
+  EXPECT_THROW(EnsemblePredictor({}), std::invalid_argument);
+  std::vector<std::unique_ptr<Predictor>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(EnsemblePredictor(std::move(with_null)), std::invalid_argument);
+  EXPECT_THROW(EnsemblePredictor(mlr_and_persistence(), {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(EnsemblePredictor(mlr_and_persistence(), {-1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(EnsemblePredictor(mlr_and_persistence(), {0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, UnfittedUntilAllMembersFit) {
+  EnsemblePredictor ensemble(mlr_and_persistence());
+  EXPECT_FALSE(ensemble.is_fitted());
+}
+
+TEST(Ensemble, HorizonWorksThroughBaseClass) {
+  EnsemblePredictor ensemble(mlr_and_persistence());
+  const TemperatureHistory h = ramp_history(2, 25);
+  ensemble.fit(h);
+  const auto rows = ensemble.predict_horizon(h, 3);
+  ASSERT_EQ(rows.size(), 3u);
+  // Trending signal + half persistence: forecasts keep increasing.
+  EXPECT_GT(rows[2][0], rows[0][0]);
+}
+
+}  // namespace
+}  // namespace tegrec::predict

@@ -1,0 +1,101 @@
+#include "teg/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/inor.hpp"
+#include "core/objective.hpp"
+#include "teg/array.hpp"
+
+namespace tegrec::teg {
+namespace {
+
+TEST(Faults, HealthyPassThrough) {
+  FaultModel faults;
+  faults.health = {ModuleHealth::kHealthy, ModuleHealth::kHealthy};
+  const auto out = apply_faults({30.0, 20.0}, faults);
+  EXPECT_EQ(out, (std::vector<double>{30.0, 20.0}));
+  EXPECT_EQ(active_module_count(faults), 2u);
+}
+
+TEST(Faults, DegradedScalesOutput) {
+  FaultModel faults;
+  faults.health = {ModuleHealth::kDegraded, ModuleHealth::kHealthy};
+  faults.derating = 0.4;
+  const auto out = apply_faults({30.0, 20.0}, faults);
+  EXPECT_DOUBLE_EQ(out[0], 12.0);
+  EXPECT_DOUBLE_EQ(out[1], 20.0);
+}
+
+TEST(Faults, BypassedZeroes) {
+  FaultModel faults;
+  faults.health = {ModuleHealth::kBypassed, ModuleHealth::kHealthy};
+  const auto out = apply_faults({30.0, 20.0}, faults);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_EQ(active_module_count(faults), 1u);
+}
+
+TEST(Faults, OpenAutoBypassed) {
+  FaultModel faults;
+  faults.health = {ModuleHealth::kOpen, ModuleHealth::kHealthy};
+  const auto out = apply_faults({30.0, 20.0}, faults);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Faults, UndiagnosedOpenRejected) {
+  FaultModel faults;
+  faults.health = {ModuleHealth::kOpen};
+  faults.auto_bypass = false;
+  EXPECT_THROW(apply_faults({30.0}, faults), std::invalid_argument);
+}
+
+TEST(Faults, Validation) {
+  FaultModel faults;
+  faults.health = {ModuleHealth::kHealthy};
+  EXPECT_THROW(apply_faults({1.0, 2.0}, faults), std::invalid_argument);
+  faults.health = {ModuleHealth::kHealthy, ModuleHealth::kHealthy};
+  faults.derating = 1.5;
+  EXPECT_THROW(apply_faults({1.0, 2.0}, faults), std::invalid_argument);
+}
+
+TEST(Faults, ControllerSurvivesFaultedArray) {
+  // End-to-end: INOR on an array with bypassed and degraded modules keeps
+  // producing a valid configuration and positive power.
+  const DeviceParams dev = tgm_199_1_4_0_8();
+  std::vector<double> dts(20);
+  for (std::size_t i = 0; i < 20; ++i) dts[i] = 34.0 - 1.4 * i;
+
+  FaultModel faults;
+  faults.health.assign(20, ModuleHealth::kHealthy);
+  faults.health[3] = ModuleHealth::kBypassed;
+  faults.health[7] = ModuleHealth::kOpen;
+  faults.health[12] = ModuleHealth::kDegraded;
+
+  const TegArray array(dev, apply_faults(dts, faults));
+  const power::Converter conv{power::ConverterParams{}};
+  const ArrayConfig c =
+      core::inor_search(array, conv, core::InorOptions{.nmin = 1, .nmax = 20});
+  const double p = core::config_power_w(array, conv, c);
+  EXPECT_GT(p, 0.0);
+
+  // Losing modules costs power but must degrade gracefully, not collapse.
+  const TegArray pristine(dev, dts);
+  const ArrayConfig c0 = core::inor_search(
+      pristine, conv, core::InorOptions{.nmin = 1, .nmax = 20});
+  const double p0 = core::config_power_w(pristine, conv, c0);
+  EXPECT_LT(p, p0);
+  EXPECT_GT(p, 0.5 * p0);
+}
+
+TEST(Faults, AllBypassedIsDeadButDoesNotCrash) {
+  const DeviceParams dev = tgm_199_1_4_0_8();
+  FaultModel faults;
+  faults.health.assign(5, ModuleHealth::kBypassed);
+  const TegArray array(dev, apply_faults({30.0, 28.0, 26.0, 24.0, 22.0}, faults));
+  const power::Converter conv{power::ConverterParams{}};
+  const ArrayConfig c =
+      core::inor_search(array, conv, core::InorOptions{.nmin = 1, .nmax = 5});
+  EXPECT_DOUBLE_EQ(core::config_power_w(array, conv, c), 0.0);
+}
+
+}  // namespace
+}  // namespace tegrec::teg

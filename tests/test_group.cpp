@@ -1,0 +1,93 @@
+#include "teg/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tegrec::teg {
+namespace {
+
+const DeviceParams kDev = tgm_199_1_4_0_8();
+
+std::vector<Module> modules_at(std::initializer_list<double> dts) {
+  std::vector<Module> out;
+  for (double dt : dts) out.push_back(Module::from_delta_t(kDev, dt));
+  return out;
+}
+
+TEST(ParallelGroup, EmptyThrows) {
+  EXPECT_THROW(ParallelGroup(std::vector<Module>{}), std::invalid_argument);
+}
+
+TEST(ParallelGroup, IdenticalModulesEquivalent) {
+  // k identical modules in parallel: Voc unchanged, R divided by k.
+  const auto mods = modules_at({30.0, 30.0, 30.0});
+  const ParallelGroup g(mods);
+  EXPECT_NEAR(g.equivalent_voc_v(), mods[0].open_circuit_voltage_v(), 1e-12);
+  EXPECT_NEAR(g.equivalent_resistance_ohm(),
+              mods[0].internal_resistance_ohm() / 3.0, 1e-12);
+  // No mismatch: group MPP equals the sum of member MPPs.
+  EXPECT_NEAR(g.mpp_power_w(), g.ideal_power_w(), 1e-9);
+}
+
+TEST(ParallelGroup, EquivalentVocIsConductanceWeightedMean) {
+  const auto mods = modules_at({20.0, 40.0});
+  const ParallelGroup g(mods);
+  const double g1 = 1.0 / mods[0].internal_resistance_ohm();
+  const double g2 = 1.0 / mods[1].internal_resistance_ohm();
+  const double expected = (mods[0].open_circuit_voltage_v() * g1 +
+                           mods[1].open_circuit_voltage_v() * g2) /
+                          (g1 + g2);
+  EXPECT_NEAR(g.equivalent_voc_v(), expected, 1e-12);
+}
+
+TEST(ParallelGroup, MismatchLosesPowerVsIdeal) {
+  // Fig. 3(a): parallel modules at different dT cannot all sit at MPP.
+  const ParallelGroup g(modules_at({40.0, 15.0}));
+  EXPECT_LT(g.mpp_power_w(), g.ideal_power_w() - 1e-6);
+}
+
+TEST(ParallelGroup, MemberCurrentsSumToGroupCurrent) {
+  const ParallelGroup g(modules_at({35.0, 25.0, 15.0}));
+  const double v = 0.6;
+  const auto currents = g.member_currents_at_voltage(v);
+  double total = 0.0;
+  for (double i : currents) total += i;
+  EXPECT_NEAR(total, (g.equivalent_voc_v() - v) / g.equivalent_resistance_ohm(),
+              1e-9);
+}
+
+TEST(ParallelGroup, ColdModuleBackFedAtHighVoltage) {
+  // A much colder module is driven backwards near the hot module's MPP
+  // voltage — the loss mechanism of Fig. 3(a).
+  const auto mods = modules_at({45.0, 5.0});
+  const ParallelGroup g(mods);
+  const double v = mods[0].mpp_voltage_v();
+  const auto currents = g.member_currents_at_voltage(v);
+  EXPECT_GT(currents[0], 0.0);
+  EXPECT_LT(currents[1], 0.0);
+}
+
+TEST(ParallelGroup, PowerConsistencyVoltageVsCurrent) {
+  const ParallelGroup g(modules_at({30.0, 20.0}));
+  const double i = 0.8;
+  const double v = g.voltage_at_current(i);
+  EXPECT_NEAR(g.power_at_current(i), g.power_at_voltage(v), 1e-9);
+}
+
+TEST(ParallelGroup, MppCurrentSumIsAlgorithmQuantity) {
+  const auto mods = modules_at({30.0, 20.0, 10.0});
+  const ParallelGroup g(mods);
+  double expected = 0.0;
+  for (const Module& m : mods) expected += m.mpp_current_a();
+  EXPECT_NEAR(g.mpp_current_sum_a(), expected, 1e-12);
+}
+
+TEST(ParallelGroup, GroupMppBelowOrEqualIdealAlways) {
+  // Property over random-ish spreads.
+  for (double spread : {0.0, 5.0, 10.0, 20.0, 35.0}) {
+    const ParallelGroup g(modules_at({40.0, 40.0 - spread}));
+    EXPECT_LE(g.mpp_power_w(), g.ideal_power_w() + 1e-9) << "spread " << spread;
+  }
+}
+
+}  // namespace
+}  // namespace tegrec::teg

@@ -1,0 +1,170 @@
+#include "thermal/heat_exchanger.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace tegrec::thermal {
+namespace {
+
+StreamConditions nominal() {
+  StreamConditions c;
+  c.hot_inlet_c = 95.0;
+  c.cold_inlet_c = 25.0;
+  c.hot_capacity_w_k = 2500.0;
+  c.cold_capacity_w_k = 2000.0;
+  return c;
+}
+
+TEST(Effectiveness, ZeroNtuIsZero) {
+  EXPECT_DOUBLE_EQ(crossflow_effectiveness(0.0, 0.5), 0.0);
+}
+
+TEST(Effectiveness, CrZeroLimitIsExponential) {
+  for (double ntu : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(crossflow_effectiveness(ntu, 0.0), 1.0 - std::exp(-ntu), 1e-12);
+  }
+}
+
+TEST(Effectiveness, BoundedByUnity) {
+  for (double ntu : {0.1, 1.0, 5.0, 20.0}) {
+    for (double cr : {0.0, 0.3, 0.7, 1.0}) {
+      const double e = crossflow_effectiveness(ntu, cr);
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+TEST(Effectiveness, MonotoneInNtu) {
+  double prev = 0.0;
+  for (double ntu = 0.1; ntu < 6.0; ntu += 0.1) {
+    const double e = crossflow_effectiveness(ntu, 0.6);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Effectiveness, DecreasesWithCr) {
+  // Higher capacity ratio makes a crossflow exchanger less effective.
+  const double lo = crossflow_effectiveness(2.0, 0.2);
+  const double hi = crossflow_effectiveness(2.0, 0.9);
+  EXPECT_GT(lo, hi);
+}
+
+TEST(Effectiveness, InvalidArgsThrow) {
+  EXPECT_THROW(crossflow_effectiveness(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(crossflow_effectiveness(1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(crossflow_effectiveness(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Solve, EnergyBalance) {
+  const HeatExchangerParams params;
+  const StreamConditions cond = nominal();
+  const HeatExchangerSolution sol = solve(params, cond);
+  // Heat lost by the hot stream equals heat gained by the cold stream.
+  const double q_hot = cond.hot_capacity_w_k * (cond.hot_inlet_c - sol.hot_outlet_c);
+  const double q_cold =
+      cond.cold_capacity_w_k * (sol.cold_outlet_c - cond.cold_inlet_c);
+  EXPECT_NEAR(q_hot, q_cold, 1e-9);
+  EXPECT_NEAR(q_hot, sol.heat_rate_w, 1e-9);
+}
+
+TEST(Solve, OutletsBetweenInlets) {
+  const HeatExchangerParams params;
+  const StreamConditions cond = nominal();
+  const HeatExchangerSolution sol = solve(params, cond);
+  EXPECT_LT(sol.hot_outlet_c, cond.hot_inlet_c);
+  EXPECT_GT(sol.hot_outlet_c, cond.cold_inlet_c);
+  EXPECT_GT(sol.cold_outlet_c, cond.cold_inlet_c);
+  EXPECT_LT(sol.cold_outlet_c, cond.hot_inlet_c);
+  EXPECT_GT(sol.cold_mean_c, cond.cold_inlet_c);
+}
+
+TEST(Solve, NoTemperatureDifferenceNoHeat) {
+  const HeatExchangerParams params;
+  StreamConditions cond = nominal();
+  cond.hot_inlet_c = cond.cold_inlet_c;
+  const HeatExchangerSolution sol = solve(params, cond);
+  EXPECT_DOUBLE_EQ(sol.heat_rate_w, 0.0);
+}
+
+TEST(Solve, InvalidConditionsThrow) {
+  const HeatExchangerParams params;
+  StreamConditions cond = nominal();
+  cond.hot_capacity_w_k = 0.0;
+  EXPECT_THROW(solve(params, cond), std::invalid_argument);
+  cond = nominal();
+  cond.hot_inlet_c = 20.0;  // below cold inlet
+  EXPECT_THROW(solve(params, cond), std::invalid_argument);
+}
+
+TEST(TemperatureAt, MatchesEquation1Endpoints) {
+  const HeatExchangerParams params;
+  const StreamConditions cond = nominal();
+  const HeatExchangerSolution sol = solve(params, cond);
+  // Eq. (1) at d = 0 gives the hot inlet exactly.
+  EXPECT_NEAR(temperature_at(params, cond, sol, 0.0), cond.hot_inlet_c, 1e-12);
+  // Large d decays toward the cold mean.
+  const double t_end = temperature_at(params, cond, sol, params.tube_length_m);
+  EXPECT_GT(t_end, sol.cold_mean_c);
+  EXPECT_LT(t_end, cond.hot_inlet_c);
+}
+
+TEST(TemperatureAt, ExactExponential) {
+  const HeatExchangerParams params;
+  const StreamConditions cond = nominal();
+  const HeatExchangerSolution sol = solve(params, cond);
+  const double d = 1.7;
+  const double expected =
+      (cond.hot_inlet_c - sol.cold_mean_c) *
+          std::exp(-params.k_per_length_w_mk / cond.cold_capacity_w_k * d) +
+      sol.cold_mean_c;
+  EXPECT_DOUBLE_EQ(temperature_at(params, cond, sol, d), expected);
+}
+
+TEST(TemperatureAt, OutOfRangeThrows) {
+  const HeatExchangerParams params;
+  const StreamConditions cond = nominal();
+  const HeatExchangerSolution sol = solve(params, cond);
+  EXPECT_THROW(temperature_at(params, cond, sol, -0.1), std::invalid_argument);
+  EXPECT_THROW(temperature_at(params, cond, sol, params.tube_length_m + 0.1),
+               std::invalid_argument);
+}
+
+TEST(TemperatureProfile, StrictlyDecreasingAlongTube) {
+  const HeatExchangerParams params;
+  const auto profile = temperature_profile(params, nominal(), 100);
+  ASSERT_EQ(profile.size(), 100u);
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LT(profile[i], profile[i - 1]) << "position " << i;
+  }
+}
+
+TEST(TemperatureProfile, ZeroCountThrows) {
+  EXPECT_THROW(temperature_profile(HeatExchangerParams{}, nominal(), 0),
+               std::invalid_argument);
+}
+
+// Parameterised sweep: the profile decay factor must track K/Cc as Eq. (1)
+// prescribes for several airflow levels.
+class ProfileDecay : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProfileDecay, DecayMatchesExponent) {
+  const double cold_capacity = GetParam();
+  HeatExchangerParams params;
+  StreamConditions cond = nominal();
+  cond.cold_capacity_w_k = cold_capacity;
+  const HeatExchangerSolution sol = solve(params, cond);
+  const double t0 = temperature_at(params, cond, sol, 0.0);
+  const double t1 = temperature_at(params, cond, sol, params.tube_length_m);
+  const double measured = (t1 - sol.cold_mean_c) / (t0 - sol.cold_mean_c);
+  const double expected =
+      std::exp(-params.k_per_length_w_mk * params.tube_length_m / cold_capacity);
+  EXPECT_NEAR(measured, expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Airflows, ProfileDecay,
+                         ::testing::Values(500.0, 1000.0, 2000.0, 4000.0, 8000.0));
+
+}  // namespace
+}  // namespace tegrec::thermal

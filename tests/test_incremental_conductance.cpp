@@ -1,0 +1,101 @@
+#include "power/incremental_conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "teg/array.hpp"
+
+namespace tegrec::power {
+namespace {
+
+const teg::DeviceParams kDev = teg::tgm_199_1_4_0_8();
+
+teg::SeriesString make_string() {
+  std::vector<double> dts(40);
+  for (std::size_t i = 0; i < dts.size(); ++i) {
+    dts[i] = 36.0 - 0.6 * static_cast<double>(i);
+  }
+  const teg::TegArray array(kDev, dts);
+  return array.build_string(teg::ArrayConfig::uniform(40, 10));
+}
+
+TEST(IncCond, ConvergesToArrayMppFromBelow) {
+  const Converter conv;
+  const teg::SeriesString s = make_string();
+  IncrementalConductanceTracker tracker(0.01);
+  tracker.reset(0.1 * s.mpp_current_a());
+  const OperatingPoint pt = tracker.run(s, conv, 800);
+  EXPECT_NEAR(pt.current_a, s.mpp_current_a(), 0.05);
+  EXPECT_NEAR(pt.array_power_w, s.mpp_power_w(), 0.01 * s.mpp_power_w());
+}
+
+TEST(IncCond, ConvergesFromAbove) {
+  const Converter conv;
+  const teg::SeriesString s = make_string();
+  IncrementalConductanceTracker tracker(0.01);
+  tracker.reset(1.7 * s.mpp_current_a());
+  const OperatingPoint pt = tracker.run(s, conv, 800);
+  EXPECT_NEAR(pt.current_a, s.mpp_current_a(), 0.05);
+}
+
+TEST(IncCond, HoldsOnceConverged) {
+  // Unlike P&O there is no limit cycle: after convergence the current must
+  // stay put.
+  const Converter conv;
+  const teg::SeriesString s = make_string();
+  IncrementalConductanceTracker tracker(0.01, 5e-3);
+  tracker.reset(0.5 * s.mpp_current_a());
+  tracker.run(s, conv, 800);
+  ASSERT_TRUE(tracker.converged());
+  const double settled = tracker.current_a();
+  tracker.run(s, conv, 50);
+  EXPECT_DOUBLE_EQ(tracker.current_a(), settled);
+}
+
+TEST(IncCond, ReacquiresAfterTemperatureStep) {
+  // String swap mid-run (temperature change): the tracker must walk to the
+  // new MPP without a reset.
+  const Converter conv;
+  const teg::SeriesString hot = make_string();
+  std::vector<double> cool_dts(40);
+  for (std::size_t i = 0; i < 40; ++i) cool_dts[i] = 20.0 - 0.3 * i;
+  const teg::TegArray cool_array(kDev, cool_dts);
+  const teg::SeriesString cool =
+      cool_array.build_string(teg::ArrayConfig::uniform(40, 10));
+
+  IncrementalConductanceTracker tracker(0.01, 5e-3);
+  tracker.reset(0.5 * hot.mpp_current_a());
+  tracker.run(hot, conv, 600);
+  EXPECT_NEAR(tracker.current_a(), hot.mpp_current_a(), 0.05);
+  tracker.run(cool, conv, 600);
+  EXPECT_NEAR(tracker.current_a(), cool.mpp_current_a(), 0.05);
+}
+
+TEST(IncCond, ResetClampsNegative) {
+  IncrementalConductanceTracker tracker;
+  tracker.reset(-2.0);
+  EXPECT_DOUBLE_EQ(tracker.current_a(), 0.0);
+  EXPECT_FALSE(tracker.converged());
+}
+
+TEST(IncCond, ParamValidation) {
+  EXPECT_THROW(IncrementalConductanceTracker(0.0), std::invalid_argument);
+  EXPECT_THROW(IncrementalConductanceTracker(0.01, 0.0), std::invalid_argument);
+}
+
+// Convergence property across starting points (fraction of IMPP).
+class IncCondStarts : public ::testing::TestWithParam<double> {};
+
+TEST_P(IncCondStarts, ConvergesWithinOnePercentOfMpp) {
+  const Converter conv;
+  const teg::SeriesString s = make_string();
+  IncrementalConductanceTracker tracker(0.01, 5e-3);
+  tracker.reset(GetParam() * s.mpp_current_a());
+  const OperatingPoint pt = tracker.run(s, conv, 1200);
+  EXPECT_GT(pt.array_power_w, 0.99 * s.mpp_power_w());
+}
+
+INSTANTIATE_TEST_SUITE_P(Starts, IncCondStarts,
+                         ::testing::Values(0.05, 0.3, 0.9, 1.4, 1.9));
+
+}  // namespace
+}  // namespace tegrec::power

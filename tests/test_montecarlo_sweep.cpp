@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "sim/montecarlo.hpp"
+#include "sim/sweep.hpp"
+
+namespace tegrec::sim {
+namespace {
+
+thermal::TraceGeneratorConfig tiny_config() {
+  thermal::TraceGeneratorConfig config;
+  // 24 modules: small enough for speed, large enough that the square-grid
+  // baseline's string voltage clears the converter's input floor.
+  config.layout.num_modules = 24;
+  config.segments = {{thermal::DriveSegment::Kind::kUrban, 25.0, 30.0, 0.0}};
+  return config;
+}
+
+ComparisonOptions fast_comparison() {
+  ComparisonOptions options;
+  options.include_inor = false;
+  options.include_ehtr = false;
+  return options;
+}
+
+TEST(MonteCarlo, AggregatesAcrossSeeds) {
+  MonteCarloOptions options;
+  options.base_trace = tiny_config();
+  options.comparison = fast_comparison();
+  options.num_seeds = 4;
+  options.first_seed = 10;
+  const MonteCarloSummary summary = run_monte_carlo(options);
+  ASSERT_EQ(summary.samples.size(), 4u);
+  EXPECT_EQ(summary.samples.front().seed, 10u);
+  EXPECT_EQ(summary.samples.back().seed, 13u);
+  EXPECT_EQ(summary.gain.count(), 4u);
+  // The reconfiguration gain must be positive on average across drives.
+  EXPECT_GT(summary.gain.mean(), 0.0);
+  EXPECT_GT(summary.dnor_energy_j.min(), 0.0);
+}
+
+TEST(MonteCarlo, DistinctSeedsGiveDistinctSamples) {
+  MonteCarloOptions options;
+  options.base_trace = tiny_config();
+  options.comparison = fast_comparison();
+  options.num_seeds = 3;
+  const MonteCarloSummary summary = run_monte_carlo(options);
+  EXPECT_NE(summary.samples[0].dnor_energy_j, summary.samples[1].dnor_energy_j);
+  EXPECT_GT(summary.dnor_energy_j.stddev(), 0.0);
+}
+
+TEST(MonteCarlo, Validation) {
+  MonteCarloOptions options;
+  options.base_trace = tiny_config();
+  options.num_seeds = 0;
+  EXPECT_THROW(run_monte_carlo(options), std::invalid_argument);
+  options.num_seeds = 2;
+  options.comparison.include_baseline = false;
+  EXPECT_THROW(run_monte_carlo(options), std::invalid_argument);
+}
+
+TEST(Sweep, CouplingSweepMonotoneEnergy) {
+  const auto points = sweep_parameter(
+      tiny_config(), {0.55, 0.7, 0.85},
+      [](thermal::TraceGeneratorConfig& config, double value) {
+        config.layout.surface_coupling = value;
+      },
+      fast_comparison());
+  ASSERT_EQ(points.size(), 3u);
+  // Better thermal coupling -> more dT -> more energy for both schemes.
+  EXPECT_LT(points[0].dnor_energy_j, points[1].dnor_energy_j);
+  EXPECT_LT(points[1].dnor_energy_j, points[2].dnor_energy_j);
+  for (const auto& p : points) {
+    EXPECT_GT(p.gain, 0.0);
+    EXPECT_GT(p.dnor_ratio_to_ideal, 0.5);
+  }
+}
+
+TEST(Sweep, Validation) {
+  EXPECT_THROW(
+      sweep_parameter(tiny_config(), {},
+                      [](thermal::TraceGeneratorConfig&, double) {}),
+      std::invalid_argument);
+  EXPECT_THROW(sweep_parameter(tiny_config(), {1.0}, nullptr),
+               std::invalid_argument);
+  ComparisonOptions no_base = fast_comparison();
+  no_base.include_baseline = false;
+  EXPECT_THROW(
+      sweep_parameter(tiny_config(), {1.0},
+                      [](thermal::TraceGeneratorConfig&, double) {}, no_base),
+      std::invalid_argument);
+}
+
+TEST(Sweep, CsvExport) {
+  const auto points = sweep_parameter(
+      tiny_config(), {0.5, 0.7},
+      [](thermal::TraceGeneratorConfig& config, double value) {
+        config.layout.surface_coupling = value;
+      },
+      fast_comparison());
+  const util::CsvTable table = sweep_to_csv("coupling", points);
+  EXPECT_EQ(table.header.front(), "coupling");
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 0.5);
+  EXPECT_NEAR(table.rows[1][3], 100.0 * points[1].gain, 1e-9);
+}
+
+}  // namespace
+}  // namespace tegrec::sim

@@ -1,0 +1,71 @@
+#include "switchfab/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tegrec::switchfab {
+namespace {
+
+TEST(Overhead, ComposesAllTerms) {
+  OverheadParams p;
+  p.sensing_delay_s = 0.004;
+  p.per_switch_delay_s = 1e-4;
+  p.mppt_settle_s = 0.020;
+  p.per_switch_energy_j = 1e-3;
+  const OverheadCost cost = reconfiguration_cost(p, 30, 50.0, 0.002);
+  const double expected_time = 0.004 + 0.002 + 30 * 1e-4 + 0.020;
+  EXPECT_NEAR(cost.timing_s, expected_time, 1e-12);
+  EXPECT_NEAR(cost.energy_j, 50.0 * expected_time + 30 * 1e-3, 1e-12);
+}
+
+TEST(Overhead, ZeroToggleEventStillPaysDeadTime) {
+  // A blind periodic rebuild that lands on the same configuration still
+  // blanks the output for sensing + compute + MPPT re-settle.
+  const OverheadParams p;
+  const OverheadCost cost = reconfiguration_cost(p, 0, 40.0, 0.001);
+  EXPECT_GT(cost.timing_s, 0.0);
+  EXPECT_NEAR(cost.timing_s, p.sensing_delay_s + 0.001 + p.mppt_settle_s, 1e-12);
+  EXPECT_NEAR(cost.energy_j, 40.0 * cost.timing_s, 1e-12);
+}
+
+TEST(Overhead, MonotoneInToggles) {
+  const OverheadParams p;
+  double prev_energy = -1.0;
+  for (std::size_t toggles : {0u, 3u, 30u, 150u, 297u}) {
+    const OverheadCost c = reconfiguration_cost(p, toggles, 50.0, 0.001);
+    EXPECT_GT(c.energy_j, prev_energy);
+    prev_energy = c.energy_j;
+  }
+}
+
+TEST(Overhead, ScalesWithPower) {
+  const OverheadParams p;
+  const OverheadCost lo = reconfiguration_cost(p, 10, 10.0, 0.001);
+  const OverheadCost hi = reconfiguration_cost(p, 10, 100.0, 0.001);
+  EXPECT_DOUBLE_EQ(lo.timing_s, hi.timing_s);  // time independent of power
+  EXPECT_GT(hi.energy_j, lo.energy_j);
+}
+
+TEST(Overhead, ZeroPowerOnlySwitchEnergy) {
+  OverheadParams p;
+  p.per_switch_energy_j = 2e-3;
+  const OverheadCost c = reconfiguration_cost(p, 5, 0.0, 0.0);
+  EXPECT_NEAR(c.energy_j, 5 * 2e-3, 1e-12);
+}
+
+TEST(Overhead, InvalidArgsThrow) {
+  const OverheadParams p;
+  EXPECT_THROW(reconfiguration_cost(p, 1, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(reconfiguration_cost(p, 1, 1.0, -1e-3), std::invalid_argument);
+}
+
+TEST(Overhead, DefaultsGivePaperScalePerEventCost) {
+  // At ~50 W output a full-array rebuild (a few dozen toggles) should cost
+  // on the order of 1 J — the scale behind INOR's ~2 kJ over 1600 events.
+  const OverheadParams p;
+  const OverheadCost c = reconfiguration_cost(p, 60, 50.0, 0.004);
+  EXPECT_GT(c.energy_j, 0.3);
+  EXPECT_LT(c.energy_j, 5.0);
+}
+
+}  // namespace
+}  // namespace tegrec::switchfab

@@ -1,0 +1,114 @@
+#include "thermal/radiator2d.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tegrec::thermal {
+namespace {
+
+StreamConditions total_conditions() {
+  StreamConditions c;
+  c.hot_inlet_c = 92.0;
+  c.cold_inlet_c = 25.0;
+  c.hot_capacity_w_k = 2400.0;
+  c.cold_capacity_w_k = 2200.0;
+  return c;
+}
+
+TEST(Radiator2D, BalancedSharesAreEqual) {
+  Radiator2DLayout layout;
+  layout.num_rows = 4;
+  layout.flow_imbalance = 0.0;
+  const auto shares = row_flow_shares(layout);
+  ASSERT_EQ(shares.size(), 4u);
+  for (double s : shares) EXPECT_NEAR(s, 0.25, 1e-12);
+}
+
+TEST(Radiator2D, ImbalancedSharesSumToOneAndAscend) {
+  Radiator2DLayout layout;
+  layout.num_rows = 5;
+  layout.flow_imbalance = 0.3;
+  const auto shares = row_flow_shares(layout);
+  double total = 0.0;
+  for (std::size_t r = 1; r < shares.size(); ++r) {
+    EXPECT_GT(shares[r], shares[r - 1]);
+  }
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Radiator2D, SingleRowDegenerates) {
+  Radiator2DLayout layout;
+  layout.num_rows = 1;
+  layout.flow_imbalance = 0.5;
+  const auto shares = row_flow_shares(layout);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+}
+
+TEST(Radiator2D, Validation) {
+  Radiator2DLayout layout;
+  layout.num_rows = 0;
+  EXPECT_THROW(row_flow_shares(layout), std::invalid_argument);
+  layout.num_rows = 2;
+  layout.flow_imbalance = 1.0;
+  EXPECT_THROW(row_flow_shares(layout), std::invalid_argument);
+  layout.flow_imbalance = -0.1;
+  EXPECT_THROW(row_flow_shares(layout), std::invalid_argument);
+}
+
+TEST(Radiator2D, RowCountAndWidth) {
+  Radiator2DLayout layout;
+  layout.num_rows = 3;
+  layout.row.num_modules = 25;
+  const auto rows = row_module_temperatures(layout, total_conditions());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) EXPECT_EQ(row.size(), 25u);
+  EXPECT_EQ(layout.total_modules(), 75u);
+}
+
+TEST(Radiator2D, EveryRowDecaysAlongTube) {
+  Radiator2DLayout layout;
+  layout.num_rows = 4;
+  layout.flow_imbalance = 0.2;
+  const auto rows = row_module_temperatures(layout, total_conditions());
+  for (const auto& row : rows) {
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      EXPECT_LT(row[i], row[i - 1]);
+    }
+  }
+}
+
+TEST(Radiator2D, LowFlowRowsRunCooler) {
+  // Less coolant flow -> the hot capacity rate drops -> the row cools
+  // faster along the tube, so the *exit* modules of starved rows sit
+  // cooler than those of well-fed rows.
+  Radiator2DLayout layout;
+  layout.num_rows = 4;
+  layout.flow_imbalance = 0.4;
+  const auto rows = row_module_temperatures(layout, total_conditions());
+  EXPECT_LT(rows.front().back(), rows.back().back());
+}
+
+TEST(Radiator2D, BalancedRowsIdentical) {
+  Radiator2DLayout layout;
+  layout.num_rows = 3;
+  layout.flow_imbalance = 0.0;
+  const auto rows = row_module_temperatures(layout, total_conditions());
+  for (std::size_t i = 0; i < rows[0].size(); ++i) {
+    EXPECT_NEAR(rows[0][i], rows[1][i], 1e-9);
+    EXPECT_NEAR(rows[1][i], rows[2][i], 1e-9);
+  }
+}
+
+TEST(Radiator2D, DeltaTNonNegative) {
+  Radiator2DLayout layout;
+  layout.num_rows = 4;
+  layout.flow_imbalance = 0.3;
+  const auto rows = row_module_delta_t(layout, total_conditions());
+  for (const auto& row : rows) {
+    for (double dt : row) EXPECT_GE(dt, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tegrec::thermal

@@ -1,0 +1,77 @@
+#include "teg/string.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tegrec::teg {
+namespace {
+
+const DeviceParams kDev = tgm_199_1_4_0_8();
+
+ParallelGroup group_at(std::initializer_list<double> dts) {
+  std::vector<Module> mods;
+  for (double dt : dts) mods.push_back(Module::from_delta_t(kDev, dt));
+  return ParallelGroup(std::move(mods));
+}
+
+TEST(SeriesString, EmptyThrows) {
+  EXPECT_THROW(SeriesString(std::vector<ParallelGroup>{}), std::invalid_argument);
+}
+
+TEST(SeriesString, TotalsAreSums) {
+  const std::vector<ParallelGroup> groups{group_at({30.0, 28.0}),
+                                          group_at({20.0, 18.0})};
+  const SeriesString s(groups);
+  EXPECT_NEAR(s.total_voc_v(),
+              groups[0].equivalent_voc_v() + groups[1].equivalent_voc_v(), 1e-12);
+  EXPECT_NEAR(s.total_resistance_ohm(),
+              groups[0].equivalent_resistance_ohm() +
+                  groups[1].equivalent_resistance_ohm(),
+              1e-12);
+}
+
+TEST(SeriesString, MppClosedForm) {
+  const SeriesString s({group_at({30.0}), group_at({20.0})});
+  EXPECT_NEAR(s.mpp_current_a(), s.total_voc_v() / (2.0 * s.total_resistance_ohm()),
+              1e-12);
+  EXPECT_NEAR(s.mpp_power_w(),
+              s.total_voc_v() * s.total_voc_v() / (4.0 * s.total_resistance_ohm()),
+              1e-12);
+  EXPECT_NEAR(s.mpp_voltage_v(), s.total_voc_v() / 2.0, 1e-12);
+  // MPP dominates a current sweep.
+  for (double frac = 0.0; frac <= 2.0; frac += 0.05) {
+    EXPECT_LE(s.power_at_current(frac * s.mpp_current_a()),
+              s.mpp_power_w() + 1e-9);
+  }
+}
+
+TEST(SeriesString, GroupVoltagesSumToStringVoltage) {
+  const SeriesString s(
+      {group_at({35.0, 30.0}), group_at({22.0}), group_at({15.0, 12.0, 10.0})});
+  const double i = 0.7;
+  const auto vs = s.group_voltages_at_current(i);
+  double total = 0.0;
+  for (double v : vs) total += v;
+  EXPECT_NEAR(total, s.voltage_at_current(i), 1e-9);
+}
+
+TEST(SeriesString, SeriesMismatchLosesPower) {
+  // Fig. 3(b): series groups with different MPP currents cannot all be at
+  // MPP simultaneously.
+  const SeriesString s({group_at({45.0}), group_at({10.0})});
+  EXPECT_LT(s.mpp_power_w(), s.ideal_power_w() - 1e-6);
+}
+
+TEST(SeriesString, MatchedGroupsReachIdeal) {
+  const SeriesString s({group_at({25.0}), group_at({25.0})});
+  EXPECT_NEAR(s.mpp_power_w(), s.ideal_power_w(), 1e-9);
+}
+
+TEST(SeriesString, IdealPowerIsSumOverGroups) {
+  const auto g1 = group_at({30.0, 20.0});
+  const auto g2 = group_at({15.0});
+  const SeriesString s({g1, g2});
+  EXPECT_NEAR(s.ideal_power_w(), g1.ideal_power_w() + g2.ideal_power_w(), 1e-12);
+}
+
+}  // namespace
+}  // namespace tegrec::teg

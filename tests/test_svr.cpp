@@ -1,0 +1,117 @@
+#include "predict/svr.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tegrec::predict {
+namespace {
+
+TemperatureHistory ar1_history(std::size_t modules, std::size_t steps, double a,
+                               double c) {
+  TemperatureHistory h(modules, steps);
+  std::vector<double> x(modules);
+  for (std::size_t m = 0; m < modules; ++m) x[m] = 75.0 + 2.0 * m;
+  for (std::size_t t = 0; t < steps; ++t) {
+    h.push(x);
+    for (auto& v : x) v = a * v + c;
+  }
+  return h;
+}
+
+TEST(Svr, FitsLinearProcessWithinTube) {
+  SvrPredictor svr(SvrParams{.lags = 2, .iterations = 800});
+  const TemperatureHistory h = ar1_history(5, 40, 0.97, 2.5);
+  svr.fit(h);
+  ASSERT_TRUE(svr.is_fitted());
+  const auto pred = svr.predict_next(h);
+  for (std::size_t m = 0; m < 5; ++m) {
+    const double expected = 0.97 * h.latest()[m] + 2.5;
+    EXPECT_NEAR(pred[m], expected, 0.8) << "module " << m;
+  }
+}
+
+TEST(Svr, PredictsConstantSignal) {
+  SvrPredictor svr(SvrParams{.lags = 3, .iterations = 600});
+  TemperatureHistory h(3, 30);
+  for (int t = 0; t < 30; ++t) h.push({90.0, 80.0, 70.0});
+  svr.fit(h);
+  const auto pred = svr.predict_next(h);
+  EXPECT_NEAR(pred[0], 90.0, 1.0);
+  EXPECT_NEAR(pred[2], 70.0, 1.0);
+}
+
+TEST(Svr, SupportFractionReflectsTubeFit) {
+  // A perfectly linear relation with a generous tube: most points inside.
+  SvrPredictor svr(SvrParams{.lags = 2, .epsilon = 0.3, .iterations = 800});
+  const TemperatureHistory h = ar1_history(4, 40, 0.99, 1.0);
+  svr.fit(h);
+  EXPECT_LT(svr.support_fraction(), 0.6);
+}
+
+TEST(Svr, WeightsExposedAfterFit) {
+  SvrPredictor svr(SvrParams{.lags = 3, .iterations = 400});
+  const TemperatureHistory h = ar1_history(4, 30, 0.98, 1.5);
+  svr.fit(h);
+  ASSERT_EQ(svr.weights().size(), 3u);
+  // The lags of a smooth AR(1) trajectory are nearly collinear, so the
+  // individual weights are not identified — but their sum (the response to
+  // a uniform shift of the window) must approximate the AR slope.
+  double weight_sum = 0.0;
+  for (double w : svr.weights()) weight_sum += w;
+  EXPECT_GT(weight_sum, 0.5);
+  EXPECT_LT(weight_sum, 1.3);
+}
+
+TEST(Svr, ModuleStrideSubsampling) {
+  SvrPredictor svr(SvrParams{.lags = 2, .iterations = 200, .module_stride = 2});
+  const TemperatureHistory h = ar1_history(8, 25, 0.98, 1.0);
+  svr.fit(h);
+  EXPECT_EQ(svr.predict_next(h).size(), 8u);
+}
+
+TEST(Svr, ErrorsOnMisuse) {
+  EXPECT_THROW(SvrPredictor(SvrParams{.lags = 0}), std::invalid_argument);
+  EXPECT_THROW(SvrPredictor(SvrParams{.c = 0.0}), std::invalid_argument);
+  EXPECT_THROW(SvrPredictor(SvrParams{.epsilon = -0.1}), std::invalid_argument);
+  EXPECT_THROW(SvrPredictor(SvrParams{.module_stride = 0}),
+               std::invalid_argument);
+  SvrPredictor svr;
+  TemperatureHistory h(2, 10);
+  h.push({1.0, 2.0});
+  EXPECT_THROW(svr.fit(h), std::invalid_argument);
+  EXPECT_THROW(svr.predict_next(h), std::logic_error);
+}
+
+TEST(Svr, NameAndLags) {
+  SvrPredictor svr(SvrParams{.lags = 7});
+  EXPECT_EQ(svr.name(), "SVR");
+  EXPECT_EQ(svr.num_lags(), 7u);
+}
+
+TEST(Svr, RobustToOutliers) {
+  // The eps-insensitive loss is robust: a few corrupted rows shouldn't
+  // destroy the fit (unlike plain least squares).
+  util::Rng rng(3);
+  SvrPredictor svr(SvrParams{.lags = 2, .iterations = 800});
+  TemperatureHistory h(4, 50);
+  std::vector<double> x(4, 85.0);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> row = x;
+    if (t == 20 || t == 35) {
+      for (auto& v : row) v += 30.0;  // sensor glitch rows
+    }
+    h.push(row);
+    for (auto& v : x) v = 0.99 * v + 0.9;
+  }
+  svr.fit(h);
+  const auto pred = svr.predict_next(h);
+  for (double p : pred) {
+    EXPECT_GT(p, 70.0);
+    EXPECT_LT(p, 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace tegrec::predict

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tegrec::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.begin_row().add("alpha").add(1.5, 1);
+  t.begin_row().add("beta").add(static_cast<long long>(7));
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, AddBeforeBeginRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.begin_row().add("longvalue").add("x");
+  t.begin_row().add("s").add("y");
+  const std::string out = t.render();
+  // Find the column of 'x' and 'y': both second-column cells must start at
+  // the same offset.
+  std::size_t line_start = 0;
+  std::vector<std::size_t> positions;
+  for (char target : {'x', 'y'}) {
+    const std::size_t pos = out.find(target, line_start);
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t bol = out.rfind('\n', pos);
+    positions.push_back(pos - bol);
+    line_start = pos;
+  }
+  EXPECT_EQ(positions[0], positions[1]);
+}
+
+TEST(TextTable, NumRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.begin_row().add("1");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(format_fixed(2.5, 3), "2.500");
+}
+
+}  // namespace
+}  // namespace tegrec::util

@@ -1,0 +1,149 @@
+#include "thermal/trace.hpp"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+namespace tegrec::thermal {
+namespace {
+
+TemperatureTrace tiny_trace() {
+  TemperatureTrace trace(0.5, 3);
+  trace.append({50.0, 40.0, 30.0}, 25.0);
+  trace.append({51.0, 41.0, 31.0}, 25.0);
+  trace.append({52.0, 42.0, 32.0}, 26.0);
+  return trace;
+}
+
+TEST(TemperatureTrace, AppendAndAccess) {
+  const TemperatureTrace trace = tiny_trace();
+  EXPECT_EQ(trace.num_steps(), 3u);
+  EXPECT_EQ(trace.num_modules(), 3u);
+  EXPECT_DOUBLE_EQ(trace.temperature_c(1, 2), 31.0);
+  EXPECT_DOUBLE_EQ(trace.ambient_c(2), 26.0);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 1.5);
+}
+
+TEST(TemperatureTrace, StepTemperaturesAndDeltaT) {
+  const TemperatureTrace trace = tiny_trace();
+  EXPECT_EQ(trace.step_temperatures(0), (std::vector<double>{50.0, 40.0, 30.0}));
+  EXPECT_EQ(trace.step_delta_t(2), (std::vector<double>{26.0, 16.0, 6.0}));
+}
+
+TEST(TemperatureTrace, DeltaTClampedAtZero) {
+  TemperatureTrace trace(1.0, 2);
+  trace.append({24.0, 30.0}, 25.0);  // first module below ambient
+  const auto dt = trace.step_delta_t(0);
+  EXPECT_DOUBLE_EQ(dt[0], 0.0);
+  EXPECT_DOUBLE_EQ(dt[1], 5.0);
+}
+
+TEST(TemperatureTrace, ModuleSeries) {
+  const TemperatureTrace trace = tiny_trace();
+  EXPECT_EQ(trace.module_series(1), (std::vector<double>{40.0, 41.0, 42.0}));
+  EXPECT_THROW(trace.module_series(3), std::out_of_range);
+}
+
+TEST(TemperatureTrace, StepAtTime) {
+  const TemperatureTrace trace = tiny_trace();
+  EXPECT_EQ(trace.step_at_time(-1.0), 0u);
+  EXPECT_EQ(trace.step_at_time(0.0), 0u);
+  EXPECT_EQ(trace.step_at_time(0.6), 1u);
+  EXPECT_EQ(trace.step_at_time(100.0), 2u);  // clamped
+}
+
+TEST(TemperatureTrace, Slice) {
+  const TemperatureTrace trace = tiny_trace();
+  const TemperatureTrace mid = trace.slice(0.5, 1.0);
+  EXPECT_EQ(mid.num_steps(), 1u);
+  EXPECT_DOUBLE_EQ(mid.temperature_c(0, 0), 51.0);
+  EXPECT_THROW(trace.slice(1.0, 0.5), std::invalid_argument);
+}
+
+TEST(TemperatureTrace, WrongWidthAppendThrows) {
+  TemperatureTrace trace(1.0, 2);
+  EXPECT_THROW(trace.append({1.0}, 25.0), std::invalid_argument);
+}
+
+TEST(TemperatureTrace, InvalidConstructionThrows) {
+  EXPECT_THROW(TemperatureTrace(0.0, 3), std::invalid_argument);
+  EXPECT_THROW(TemperatureTrace(1.0, 0), std::invalid_argument);
+}
+
+TEST(TemperatureTrace, OutOfRangeAccessThrows) {
+  const TemperatureTrace trace = tiny_trace();
+  EXPECT_THROW(trace.temperature_c(3, 0), std::out_of_range);
+  EXPECT_THROW(trace.temperature_c(0, 3), std::out_of_range);
+  EXPECT_THROW(trace.ambient_c(3), std::out_of_range);
+}
+
+TEST(TemperatureTrace, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tegrec_trace_test.csv";
+  const TemperatureTrace trace = tiny_trace();
+  trace.save_csv(path);
+  const TemperatureTrace back = TemperatureTrace::load_csv(path);
+  ASSERT_EQ(back.num_steps(), trace.num_steps());
+  ASSERT_EQ(back.num_modules(), trace.num_modules());
+  EXPECT_NEAR(back.dt_s(), trace.dt_s(), 1e-9);
+  for (std::size_t t = 0; t < trace.num_steps(); ++t) {
+    EXPECT_NEAR(back.ambient_c(t), trace.ambient_c(t), 1e-9);
+    for (std::size_t m = 0; m < trace.num_modules(); ++m) {
+      EXPECT_NEAR(back.temperature_c(t, m), trace.temperature_c(t, m), 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+class GeneratedTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new TemperatureTrace(default_experiment_trace(99));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static TemperatureTrace* trace_;
+};
+
+TemperatureTrace* GeneratedTraceTest::trace_ = nullptr;
+
+TEST_F(GeneratedTraceTest, DefaultShape) {
+  EXPECT_EQ(trace_->num_modules(), 100u);
+  EXPECT_NEAR(trace_->duration_s(), 800.0, 1.0);
+  EXPECT_DOUBLE_EQ(trace_->dt_s(), 0.5);
+}
+
+TEST_F(GeneratedTraceTest, SpatialProfileDecreasesOnAverage) {
+  // Entrance modules must run hotter than exit modules at every step.
+  for (std::size_t t = 0; t < trace_->num_steps(); t += 100) {
+    const auto temps = trace_->step_temperatures(t);
+    EXPECT_GT(temps.front(), temps.back() + 5.0) << "step " << t;
+  }
+}
+
+TEST_F(GeneratedTraceTest, TemperaturesPhysicallyPlausible) {
+  for (std::size_t t = 0; t < trace_->num_steps(); t += 37) {
+    const auto temps = trace_->step_temperatures(t);
+    for (double temp : temps) {
+      EXPECT_GT(temp, 25.0);
+      EXPECT_LT(temp, 110.0);
+    }
+  }
+}
+
+TEST_F(GeneratedTraceTest, DeterministicBySeed) {
+  const TemperatureTrace again = default_experiment_trace(99);
+  EXPECT_DOUBLE_EQ(again.temperature_c(100, 50), trace_->temperature_c(100, 50));
+  const TemperatureTrace other = default_experiment_trace(100);
+  EXPECT_NE(other.temperature_c(100, 50), trace_->temperature_c(100, 50));
+}
+
+TEST(GenerateTrace, SampleCoarserThanSimRequired) {
+  TraceGeneratorConfig config;
+  config.sample_dt_s = 0.05;
+  config.sim_dt_s = 0.1;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tegrec::thermal

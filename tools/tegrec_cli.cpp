@@ -1,0 +1,165 @@
+// tegrec_cli — command-line front end for the library.
+//
+//   tegrec_cli trace    --out trace.csv [--seed S] [--modules N] [--duration T]
+//   tegrec_cli simulate --trace trace.csv [--scheme dnor|inor|ehtr|baseline|all]
+//   tegrec_cli predict  --trace trace.csv [--method mlr|bpnn|svr|holt]
+//                       [--horizon H]
+//
+// `trace` synthesises a drive and writes the per-module temperature CSV;
+// `simulate` replays a CSV through the chosen controller(s) and prints the
+// Table-I style summary; `predict` scores a predictor on the CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <map>
+#include <string>
+
+#include "predict/bpnn.hpp"
+#include "predict/evaluate.hpp"
+#include "predict/holt.hpp"
+#include "predict/mlr.hpp"
+#include "predict/svr.hpp"
+#include "sim/experiment.hpp"
+#include "sim/results.hpp"
+#include "thermal/trace.hpp"
+
+namespace {
+
+using namespace tegrec;
+
+// Tiny --key value parser: every option takes exactly one argument.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      throw std::invalid_argument("expected --key value pairs, got '" + key + "'");
+    }
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_trace(const std::map<std::string, std::string>& flags) {
+  thermal::TraceGeneratorConfig config;
+  config.seed = std::strtoull(flag_or(flags, "seed", "2018").c_str(), nullptr, 10);
+  config.layout.num_modules =
+      std::strtoul(flag_or(flags, "modules", "100").c_str(), nullptr, 10);
+  const double duration =
+      std::strtod(flag_or(flags, "duration", "800").c_str(), nullptr);
+  if (duration > 0.0 && duration != 800.0) {
+    // Scale the default cycle's segments proportionally.
+    auto segments = thermal::default_porter_cycle();
+    for (auto& s : segments) s.duration_s *= duration / 800.0;
+    config.segments = std::move(segments);
+  }
+  const thermal::TemperatureTrace trace = thermal::generate_trace(config);
+  const std::string out = flag_or(flags, "out", "trace.csv");
+  trace.save_csv(out);
+  std::printf("wrote %zu steps x %zu modules (%.0f s) to %s\n", trace.num_steps(),
+              trace.num_modules(), trace.duration_s(), out.c_str());
+  return 0;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  const std::string path = flag_or(flags, "trace", "");
+  const thermal::TemperatureTrace trace =
+      path.empty() ? thermal::default_experiment_trace()
+                   : thermal::TemperatureTrace::load_csv(path);
+  const std::string scheme = flag_or(flags, "scheme", "all");
+
+  sim::ComparisonOptions options;
+  if (scheme != "all") {
+    options.include_dnor = scheme == "dnor";
+    options.include_inor = scheme == "inor";
+    options.include_ehtr = scheme == "ehtr";
+    options.include_baseline = scheme == "baseline";
+    if (!options.include_dnor && !options.include_inor && !options.include_ehtr &&
+        !options.include_baseline) {
+      std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+      return 1;
+    }
+  }
+  const sim::ComparisonResult res = sim::run_standard_comparison(trace, options);
+  std::printf("%s\n", sim::render_table1(res.runs).c_str());
+  return 0;
+}
+
+int cmd_predict(const std::map<std::string, std::string>& flags) {
+  const std::string path = flag_or(flags, "trace", "");
+  const thermal::TemperatureTrace trace =
+      path.empty() ? thermal::default_experiment_trace()
+                   : thermal::TemperatureTrace::load_csv(path);
+  const std::string method = flag_or(flags, "method", "mlr");
+  const double horizon_s = std::strtod(flag_or(flags, "horizon", "1").c_str(), nullptr);
+
+  std::unique_ptr<predict::Predictor> predictor;
+  if (method == "mlr") {
+    predictor = std::make_unique<predict::MlrPredictor>();
+  } else if (method == "bpnn") {
+    predict::BpnnParams p;
+    p.epochs = 8;
+    p.module_stride = 5;
+    predictor = std::make_unique<predict::BpnnPredictor>(p);
+  } else if (method == "svr") {
+    predict::SvrParams p;
+    p.iterations = 120;
+    p.module_stride = 5;
+    predictor = std::make_unique<predict::SvrPredictor>(p);
+  } else if (method == "holt") {
+    predictor = std::make_unique<predict::HoltPredictor>();
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 1;
+  }
+
+  predict::EvaluationOptions options;
+  options.window = 30;
+  options.horizon_steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(horizon_s / trace.dt_s()));
+  const auto res = predict::evaluate_online(*predictor, trace, options);
+  std::printf("%s @ %.1f s horizon: mean MAPE %.4f %%, max %.4f %%, "
+              "fit %.3f ms, predict %.3f ms\n",
+              res.predictor_name.c_str(), horizon_s, res.mean_mape_percent,
+              res.max_mape_percent, res.mean_fit_time_ms, res.mean_predict_time_ms);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tegrec_cli trace    [--out F] [--seed S] [--modules N] "
+               "[--duration T]\n"
+               "  tegrec_cli simulate [--trace F] [--scheme dnor|inor|ehtr|"
+               "baseline|all]\n"
+               "  tegrec_cli predict  [--trace F] [--method mlr|bpnn|svr|holt] "
+               "[--horizon H]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (command == "trace") return cmd_trace(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "predict") return cmd_predict(flags);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace tegrec::sim {
 
 MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options) {
@@ -13,28 +15,35 @@ MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options) {
         "run_monte_carlo: DNOR and baseline must both be enabled");
   }
   MonteCarloSummary summary;
-  summary.samples.reserve(options.num_seeds);
-  for (std::size_t k = 0; k < options.num_seeds; ++k) {
-    thermal::TraceGeneratorConfig config = options.base_trace;
-    config.seed = options.first_seed + k;
-    const thermal::TemperatureTrace trace = thermal::generate_trace(config);
-    const ComparisonResult res =
-        run_standard_comparison(trace, options.comparison);
+  summary.samples.resize(options.num_seeds);
 
-    MonteCarloSample sample;
-    sample.seed = config.seed;
-    sample.dnor_energy_j = res.by_name("DNOR").energy_output_j;
-    sample.baseline_energy_j = res.by_name("Baseline").energy_output_j;
-    sample.gain = res.dnor_gain_over_baseline();
-    sample.dnor_overhead_j = res.by_name("DNOR").switch_overhead_j;
-    sample.dnor_switches =
-        static_cast<double>(res.by_name("DNOR").num_switch_events);
+  // Each seed is an independent drive with its own RNG stream; sample k
+  // writes only slot k, so any thread count produces the same samples.
+  util::parallel_for(
+      options.num_seeds, options.num_threads, [&](std::size_t k) {
+        thermal::TraceGeneratorConfig config = options.base_trace;
+        config.seed = options.first_seed + k;
+        const thermal::TemperatureTrace trace = thermal::generate_trace(config);
+        const ComparisonResult res =
+            run_standard_comparison(trace, options.comparison);
 
+        MonteCarloSample& sample = summary.samples[k];
+        sample.seed = config.seed;
+        sample.dnor_energy_j = res.by_name("DNOR").energy_output_j;
+        sample.baseline_energy_j = res.by_name("Baseline").energy_output_j;
+        sample.gain = res.dnor_gain_over_baseline();
+        sample.dnor_overhead_j = res.by_name("DNOR").switch_overhead_j;
+        sample.dnor_switches =
+            static_cast<double>(res.by_name("DNOR").num_switch_events);
+      });
+
+  // Fold the running statistics serially in seed order: floating-point
+  // accumulation order is part of the bit-identical guarantee.
+  for (const MonteCarloSample& sample : summary.samples) {
     summary.gain.add(sample.gain);
     summary.dnor_energy_j.add(sample.dnor_energy_j);
     summary.dnor_overhead_j.add(sample.dnor_overhead_j);
     summary.dnor_switches.add(sample.dnor_switches);
-    summary.samples.push_back(sample);
   }
   return summary;
 }

@@ -20,6 +20,11 @@ struct MonteCarloOptions {
   ComparisonOptions comparison;
   std::size_t num_seeds = 10;
   std::uint64_t first_seed = 1;
+  /// Worker threads for the per-seed simulations: 0 = one per hardware
+  /// thread, 1 = serial.  Every seed owns a deterministic RNG stream and a
+  /// private output slot, and the summary statistics are folded in seed
+  /// order afterwards, so the result is bit-identical for any value.
+  std::size_t num_threads = 0;
 };
 
 /// Per-seed record of the headline metrics.
@@ -40,7 +45,9 @@ struct MonteCarloSummary {
   util::RunningStats dnor_switches;
 };
 
-/// Runs the comparison for seeds first_seed .. first_seed + num_seeds - 1.
+/// Runs the comparison for seeds first_seed .. first_seed + num_seeds - 1,
+/// in parallel across `options.num_threads` workers (seeds are independent
+/// drives, so this is embarrassingly parallel and exactly reproducible).
 /// Requires DNOR and the baseline to be enabled in `comparison`.
 MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options);
 

@@ -78,7 +78,7 @@ SimulationResult run_simulation(core::Reconfigurer& controller,
     if (options.charge_overhead && actuated) {
       const switchfab::OverheadCost cost = switchfab::reconfiguration_cost(
           options.overhead, rec.switch_actuations, rec.gross_power_w,
-          upd.compute_time_s);
+          options.overhead.compute_budget_s);
       rec.overhead_energy_j = std::min(cost.energy_j, net_energy_j);
       net_energy_j -= rec.overhead_energy_j;
       result.switch_overhead_j += rec.overhead_energy_j;

@@ -2,33 +2,34 @@
 
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace tegrec::sim {
 
 std::vector<SweepPoint> sweep_parameter(
     const thermal::TraceGeneratorConfig& base, const std::vector<double>& values,
-    const ConfigMutator& mutate, const ComparisonOptions& comparison) {
+    const ConfigMutator& mutate, const ComparisonOptions& comparison,
+    std::size_t num_threads) {
   if (values.empty()) throw std::invalid_argument("sweep_parameter: no values");
   if (!mutate) throw std::invalid_argument("sweep_parameter: null mutator");
   if (!comparison.include_dnor || !comparison.include_baseline) {
     throw std::invalid_argument(
         "sweep_parameter: DNOR and baseline must both be enabled");
   }
-  std::vector<SweepPoint> out;
-  out.reserve(values.size());
-  for (double value : values) {
+  std::vector<SweepPoint> out(values.size());
+  util::parallel_for(values.size(), num_threads, [&](std::size_t i) {
     thermal::TraceGeneratorConfig config = base;
-    mutate(config, value);
+    mutate(config, values[i]);
     const thermal::TemperatureTrace trace = thermal::generate_trace(config);
     const ComparisonResult res = run_standard_comparison(trace, comparison);
 
-    SweepPoint point;
-    point.value = value;
+    SweepPoint& point = out[i];
+    point.value = values[i];
     point.dnor_energy_j = res.by_name("DNOR").energy_output_j;
     point.baseline_energy_j = res.by_name("Baseline").energy_output_j;
     point.gain = res.dnor_gain_over_baseline();
     point.dnor_ratio_to_ideal = res.by_name("DNOR").ratio_to_ideal();
-    out.push_back(point);
-  }
+  });
   return out;
 }
 

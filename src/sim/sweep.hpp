@@ -7,6 +7,7 @@
 // per value with the headline quantities, ready for CSV/plotting.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,10 +30,15 @@ using ConfigMutator =
     std::function<void(thermal::TraceGeneratorConfig&, double value)>;
 
 /// Runs the DNOR-vs-baseline comparison for every value in `values`,
-/// applying `mutate(config, value)` to a copy of `base` each time.
+/// applying `mutate(config, value)` to a copy of `base` each time.  Points
+/// are independent simulations evaluated across `num_threads` workers
+/// (0 = one per hardware thread, 1 = serial); each point writes only its
+/// own output slot, so the result is bit-identical for any thread count.
+/// The mutator may be called concurrently and must not touch shared state.
 std::vector<SweepPoint> sweep_parameter(
     const thermal::TraceGeneratorConfig& base, const std::vector<double>& values,
-    const ConfigMutator& mutate, const ComparisonOptions& comparison = {});
+    const ConfigMutator& mutate, const ComparisonOptions& comparison = {},
+    std::size_t num_threads = 0);
 
 /// Packs sweep points into a CSV table (columns: value, dnor_j, baseline_j,
 /// gain_percent, dnor_ratio).  `value_name` becomes the first header.

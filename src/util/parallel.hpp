@@ -1,0 +1,68 @@
+// Minimal thread pool and deterministic parallel-for.
+//
+// The Monte-Carlo and sweep engines are embarrassingly parallel: every
+// seed / swept value is an independent simulation whose result lands in a
+// preassigned output slot.  parallel_for() covers that shape directly —
+// each index runs exactly once, on some thread, and exceptions from the
+// body are rethrown on the caller.  It fans out over a ThreadPool, which
+// is also usable standalone for free-form task submission.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tegrec::util {
+
+/// Fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every in-flight task finished.
+  /// If any task threw since the last call, rethrows the first such
+  /// exception here (later ones are dropped); the pool stays usable.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::exception_ptr first_error_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// std::thread::hardware_concurrency(), but never zero.
+std::size_t default_parallelism();
+
+/// Runs body(i) for every i in [0, n) across worker threads.
+///
+/// `num_threads` semantics: 0 = default_parallelism(), 1 = run inline on
+/// the calling thread (the serial path), k > 1 = up to k workers.  Indices
+/// are claimed from an atomic counter, so any partition of work gives the
+/// same set of calls; callers that write results[i] from body(i) get
+/// results bit-identical to the serial path for every thread count.  The
+/// first exception thrown by the body is rethrown after all workers join.
+void parallel_for(std::size_t n, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace tegrec::util

@@ -1,13 +1,18 @@
 // tegrec_cli — command-line front end for the library.
 //
-//   tegrec_cli trace    --out trace.csv [--seed S] [--modules N] [--duration T]
-//   tegrec_cli simulate --trace trace.csv [--scheme dnor|inor|ehtr|baseline|all]
-//   tegrec_cli predict  --trace trace.csv [--method mlr|bpnn|svr|holt]
-//                       [--horizon H]
+//   tegrec_cli trace      --out trace.csv [--seed S] [--modules N]
+//                         [--duration T]
+//   tegrec_cli simulate   --trace trace.csv
+//                         [--scheme dnor|inor|ehtr|baseline|all]
+//   tegrec_cli predict    --trace trace.csv [--method mlr|bpnn|svr|holt]
+//                         [--horizon H]
+//   tegrec_cli montecarlo [--seeds K] [--first-seed S] [--modules N]
+//                         [--duration T] [--threads W]
 //
 // `trace` synthesises a drive and writes the per-module temperature CSV;
 // `simulate` replays a CSV through the chosen controller(s) and prints the
-// Table-I style summary; `predict` scores a predictor on the CSV.
+// Table-I style summary; `predict` scores a predictor on the CSV;
+// `montecarlo` runs the multi-core DNOR-vs-baseline study across seeds.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -21,8 +26,10 @@
 #include "predict/mlr.hpp"
 #include "predict/svr.hpp"
 #include "sim/experiment.hpp"
+#include "sim/montecarlo.hpp"
 #include "sim/results.hpp"
 #include "thermal/trace.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -132,6 +139,45 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_montecarlo(const std::map<std::string, std::string>& flags) {
+  sim::MonteCarloOptions options;
+  options.base_trace.seed = 0;  // overwritten per seed below
+  options.base_trace.layout.num_modules =
+      std::strtoul(flag_or(flags, "modules", "100").c_str(), nullptr, 10);
+  const double duration =
+      std::strtod(flag_or(flags, "duration", "200").c_str(), nullptr);
+  // Short mixed slice per seed, urban then cruise, scaled to --duration.
+  options.base_trace.segments = {
+      {thermal::DriveSegment::Kind::kUrban, duration / 2.0, 32.0, 0.0},
+      {thermal::DriveSegment::Kind::kCruise, duration / 2.0, 70.0, 0.0}};
+  options.comparison.include_inor = false;
+  options.comparison.include_ehtr = false;
+  options.num_seeds =
+      std::strtoul(flag_or(flags, "seeds", "10").c_str(), nullptr, 10);
+  options.first_seed =
+      std::strtoull(flag_or(flags, "first-seed", "100").c_str(), nullptr, 10);
+  options.num_threads =
+      std::strtoul(flag_or(flags, "threads", "0").c_str(), nullptr, 10);
+
+  const sim::MonteCarloSummary summary = sim::run_monte_carlo(options);
+
+  util::TextTable table({"seed", "DNOR (J)", "Baseline (J)", "gain %"});
+  for (const auto& s : summary.samples) {
+    table.begin_row()
+        .add(static_cast<long long>(s.seed))
+        .add(s.dnor_energy_j, 1)
+        .add(s.baseline_energy_j, 1)
+        .add(100.0 * s.gain, 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("gain over %zu drives: mean %.1f %%, sd %.1f %%, "
+              "range [%.1f, %.1f] %%\n",
+              summary.samples.size(), 100.0 * summary.gain.mean(),
+              100.0 * summary.gain.stddev(), 100.0 * summary.gain.min(),
+              100.0 * summary.gain.max());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -140,7 +186,9 @@ void usage() {
                "  tegrec_cli simulate [--trace F] [--scheme dnor|inor|ehtr|"
                "baseline|all]\n"
                "  tegrec_cli predict  [--trace F] [--method mlr|bpnn|svr|holt] "
-               "[--horizon H]\n");
+               "[--horizon H]\n"
+               "  tegrec_cli montecarlo [--seeds K] [--first-seed S] "
+               "[--modules N] [--duration T] [--threads W]\n");
 }
 
 }  // namespace
@@ -156,6 +204,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(flags);
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "predict") return cmd_predict(flags);
+    if (command == "montecarlo") return cmd_montecarlo(flags);
     usage();
     return 1;
   } catch (const std::exception& e) {

@@ -13,6 +13,7 @@
 #include "predict/persistence.hpp"
 #include "predict/svr.hpp"
 #include "thermal/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -38,11 +39,14 @@ int main() {
   predict::SvrPredictor svr(svr_params);
   predict::PersistencePredictor naive;
 
-  std::vector<predict::EvaluationResult> results;
-  results.push_back(predict::evaluate_online(mlr, trace, options));
-  results.push_back(predict::evaluate_online(bpnn, trace, options));
-  results.push_back(predict::evaluate_online(svr, trace, options));
-  results.push_back(predict::evaluate_online(naive, trace, options));
+  // evaluate_online itself must stay sequential (each step refits on the
+  // previous window), but the four predictors are independent: fan the
+  // outer loop over the worker pool, one preassigned result slot each.
+  const std::vector<predict::Predictor*> predictors{&mlr, &bpnn, &svr, &naive};
+  std::vector<predict::EvaluationResult> results(predictors.size());
+  util::parallel_for(predictors.size(), 0, [&](std::size_t i) {
+    results[i] = predict::evaluate_online(*predictors[i], trace, options);
+  });
 
   util::TextTable table({"method", "mean MAPE %", "max MAPE %", "fit (ms)",
                          "predict (ms)"});

@@ -1,18 +1,28 @@
-// Scalability claim of Sections I/V: INOR runs in O(N) while EHTR is
-// O(N^3), so the gap explodes with array size ("industrial boilers and
-// heat exchangers").  google-benchmark measures both searches plus the
-// MLR predictor fit across N.
+// Runtime scaling of the reconfiguration searches toward 10k-module farms.
 //
-// Expected shape: INOR roughly linear in N; EHTR roughly cubic; at N=400+
-// the ratio reaches orders of magnitude.
-#include <benchmark/benchmark.h>
-
+// The paper attributes O(N^3) to EHTR (Sections I/V); this harness times
+// the legacy cubic path (full-scan DP + per-candidate SeriesString
+// scoring) against the optimised path (divide-and-conquer monotone DP +
+// cached ArrayEvaluator scoring) across N in {64, 256, 1024, 4096, 10000},
+// with INOR's O(N) search for contrast.  The legacy path is skipped above
+// N = 1024, where the cubic DP alone would take minutes.
+//
+// Emits a human table on stdout plus machine-readable CSV and JSON
+// (default runtime_scaling.csv / runtime_scaling.json; override with
+// --csv PATH / --json PATH, or disable the N = 10000 row with --quick) so
+// future PRs have a perf trajectory to regress against.
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/ehtr.hpp"
 #include "core/inor.hpp"
-#include "predict/mlr.hpp"
+#include "core/objective.hpp"
 #include "teg/array.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -30,45 +40,139 @@ std::vector<double> profile(std::size_t n) {
   return out;
 }
 
-void BM_InorSearch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const teg::TegArray array(kDev, profile(n));
-  const power::Converter conv(kConv);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::inor_search(array, conv));
-  }
-  state.SetComplexityN(static_cast<std::int64_t>(n));
+template <typename Fn>
+double time_s(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
-BENCHMARK(BM_InorSearch)->RangeMultiplier(2)->Range(25, 800)->Complexity(benchmark::oN);
 
-void BM_EhtrSearch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const teg::TegArray array(kDev, profile(n));
-  const power::Converter conv(kConv);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::ehtr_search(array, conv));
+// The pre-optimisation EHTR search: cubic DP, then every candidate scored
+// by materialising a SeriesString of N module copies.
+teg::ArrayConfig legacy_ehtr_search(const teg::TegArray& array,
+                                    const power::Converter& converter) {
+  const std::vector<teg::ArrayConfig> candidates = core::balanced_partitions(
+      array.module_mpp_currents(), array.size(), core::PartitionDp::kLegacyCubic);
+  double best_power = -1.0;
+  const teg::ArrayConfig* best = &candidates.front();
+  for (const teg::ArrayConfig& c : candidates) {
+    const double p = core::config_power_w(array, converter, c);
+    if (p > best_power) {
+      best_power = p;
+      best = &c;
+    }
   }
-  state.SetComplexityN(static_cast<std::int64_t>(n));
+  return *best;
 }
-// EHTR at N=800 is ~minutes of DP; cap at 400 to keep the harness fast.
-BENCHMARK(BM_EhtrSearch)->RangeMultiplier(2)->Range(25, 400)->Complexity(benchmark::oNCubed);
 
-void BM_MlrFitPredict(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  predict::TemperatureHistory history(n, 30);
-  const auto base = profile(n);
-  for (int t = 0; t < 30; ++t) {
-    std::vector<double> row = base;
-    for (auto& x : row) x += 25.0 + 0.01 * t;  // absolute temps with drift
-    history.push(row);
-  }
-  predict::MlrPredictor mlr;
-  for (auto _ : state) {
-    mlr.fit(history);
-    benchmark::DoNotOptimize(mlr.predict_next(history));
-  }
-  state.SetComplexityN(static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_MlrFitPredict)->RangeMultiplier(2)->Range(25, 800)->Complexity(benchmark::oN);
+struct Row {
+  std::size_t n = 0;
+  double inor_s = 0.0;
+  double dc_dp_s = 0.0;
+  double new_search_s = 0.0;
+  double legacy_dp_s = std::nan("");
+  double legacy_search_s = std::nan("");
+  double speedup() const { return legacy_search_s / new_search_s; }
+};
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path = "runtime_scaling.csv";
+  std::string json_path = "runtime_scaling.json";
+  bool quick = false;
+  for (int a = 1; a < argc; ++a) {
+    if (!std::strcmp(argv[a], "--csv") && a + 1 < argc) csv_path = argv[++a];
+    else if (!std::strcmp(argv[a], "--json") && a + 1 < argc) json_path = argv[++a];
+    else if (!std::strcmp(argv[a], "--quick")) quick = true;
+  }
+
+  const power::Converter conv(kConv);
+  // Legacy above 1024 modules would run for minutes (cubic DP); the new
+  // path alone is measured there.
+  constexpr std::size_t kLegacyCap = 1024;
+  std::vector<std::size_t> sizes{64, 256, 1024, 4096, 10000};
+  if (quick) sizes.pop_back();
+
+  std::printf("=== EHTR runtime scaling: legacy O(N^3) vs optimised path ===\n\n");
+  std::vector<Row> rows;
+  for (const std::size_t n : sizes) {
+    Row row;
+    row.n = n;
+    const teg::TegArray array(kDev, profile(n));
+    const std::vector<double> impp = array.module_mpp_currents();
+
+    row.inor_s = time_s([&] { core::inor_search(array, conv); });
+    row.dc_dp_s = time_s([&] {
+      core::balanced_partitions(impp, n, core::PartitionDp::kDivideAndConquer);
+    });
+    row.new_search_s = time_s([&] { core::ehtr_search(array, conv, 1); });
+    if (n <= kLegacyCap) {
+      row.legacy_dp_s = time_s([&] {
+        core::balanced_partitions(impp, n, core::PartitionDp::kLegacyCubic);
+      });
+      row.legacy_search_s = time_s([&] { legacy_ehtr_search(array, conv); });
+    }
+    rows.push_back(row);
+    std::printf("  N = %5zu done (new EHTR search %.3f s)\n", n, row.new_search_s);
+  }
+
+  std::printf("\n");
+  util::TextTable table({"N", "INOR (s)", "DP d&c (s)", "EHTR new (s)",
+                         "DP legacy (s)", "EHTR legacy (s)", "speedup"});
+  for (const Row& r : rows) {
+    table.begin_row()
+        .add(static_cast<double>(r.n), 0)
+        .add(r.inor_s, 5)
+        .add(r.dc_dp_s, 5)
+        .add(r.new_search_s, 5)
+        .add(r.legacy_dp_s, 5)
+        .add(r.legacy_search_s, 5)
+        .add(r.speedup(), 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Unmeasured legacy fields (NaN) become empty CSV cells / JSON nulls so
+  // both files stay parseable by strict readers.
+  if (std::FILE* csv = std::fopen(csv_path.c_str(), "w")) {
+    std::fprintf(csv,
+                 "n,inor_s,dc_dp_s,new_search_s,legacy_dp_s,legacy_search_s,"
+                 "speedup\n");
+    for (const Row& r : rows) {
+      auto cell = [](double v) {
+        char buf[32];
+        if (std::isnan(v)) return std::string();
+        std::snprintf(buf, sizeof buf, "%.9f", v);
+        return std::string(buf);
+      };
+      std::fprintf(csv, "%zu,%.9f,%.9f,%.9f,%s,%s,%s\n", r.n, r.inor_s,
+                   r.dc_dp_s, r.new_search_s, cell(r.legacy_dp_s).c_str(),
+                   cell(r.legacy_search_s).c_str(), cell(r.speedup()).c_str());
+    }
+    std::fclose(csv);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      // JSON has no NaN literal; legacy fields are null where not measured.
+      auto num = [](double v) {
+        return std::isnan(v) ? std::string("null")
+                             : std::to_string(v);
+      };
+      std::fprintf(json,
+                   "  {\"n\": %zu, \"inor_s\": %.9f, \"dc_dp_s\": %.9f, "
+                   "\"new_search_s\": %.9f, \"legacy_dp_s\": %s, "
+                   "\"legacy_search_s\": %s, \"speedup\": %s}%s\n",
+                   r.n, r.inor_s, r.dc_dp_s, r.new_search_s,
+                   num(r.legacy_dp_s).c_str(), num(r.legacy_search_s).c_str(),
+                   num(r.speedup()).c_str(), i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "predict/persistence.hpp"
 #include "predict/svr.hpp"
 #include "thermal/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -55,8 +56,15 @@ int main() {
     options.start_time_s = 30.0;
     std::printf("-- forecast horizon %.1f s --\n", horizon_s);
     util::TextTable table({"method", "mean MAPE %", "max MAPE %", "fit ms"});
-    for (auto& predictor : make_predictors()) {
-      const auto res = predict::evaluate_online(*predictor, trace, options);
+    // Each predictor's online walk is sequential (refits on its own
+    // window), but the predictors are independent of each other: evaluate
+    // them in parallel and render in fixed order afterwards.
+    auto predictors = make_predictors();
+    std::vector<predict::EvaluationResult> results(predictors.size());
+    util::parallel_for(predictors.size(), 0, [&](std::size_t i) {
+      results[i] = predict::evaluate_online(*predictors[i], trace, options);
+    });
+    for (const auto& res : results) {
       table.begin_row()
           .add(res.predictor_name)
           .add(res.mean_mape_percent, 4)

@@ -29,22 +29,27 @@ DnorReconfigurer::DnorReconfigurer(const teg::DeviceParams& device,
   }
 }
 
-double DnorReconfigurer::predicted_energy_j(
-    const teg::ArrayConfig& config, const std::vector<double>& now_temps,
+std::pair<double, double> DnorReconfigurer::predicted_energies_j(
+    const teg::ArrayConfig& c_old, const teg::ArrayConfig& c_new,
+    const std::vector<double>& now_temps,
     const std::vector<std::vector<double>>& forecast, double ambient_c) const {
   const double dt = params_.control_period_s;
-  auto power_at = [&](const std::vector<double>& temps) {
+  double e_old = 0.0;
+  double e_new = 0.0;
+  auto accumulate = [&](const std::vector<double>& temps) {
     std::vector<double> delta(temps.size());
     for (std::size_t i = 0; i < temps.size(); ++i) {
       delta[i] = std::max(0.0, temps[i] - ambient_c);
     }
     const teg::TegArray array(device_, delta, ambient_c);
-    return config_power_w(array, converter_, config);
+    const teg::ArrayEvaluator evaluator(array);
+    e_old += config_power_w(evaluator, converter_, c_old) * dt;
+    e_new += config_power_w(evaluator, converter_, c_new) * dt;
   };
   // The "current second" term of Algorithm 2 plus the tp predicted steps.
-  double energy = power_at(now_temps) * dt;
-  for (const auto& row : forecast) energy += power_at(row) * dt;
-  return energy;
+  accumulate(now_temps);
+  for (const auto& row : forecast) accumulate(row);
+  return {e_old, e_new};
 }
 
 UpdateResult DnorReconfigurer::update(double time_s,
@@ -82,9 +87,8 @@ UpdateResult DnorReconfigurer::update(double time_s,
     if (can_predict) {
       predictor_->fit(*history_);
       const auto forecast = predictor_->predict_horizon(*history_, horizon);
-      const double e_old =
-          predicted_energy_j(current_, temps, forecast, ambient_c);
-      const double e_new = predicted_energy_j(c_new, temps, forecast, ambient_c);
+      const auto [e_old, e_new] =
+          predicted_energies_j(current_, c_new, temps, forecast, ambient_c);
       const std::size_t toggles = 3 * current_.boundary_distance(c_new);
       const double p_now = config_power_w(array, converter_, current_);
       const double e_overhead =

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "core/inor.hpp"
 #include "core/reconfigurer.hpp"
@@ -62,11 +63,12 @@ class DnorReconfigurer final : public Reconfigurer {
   std::size_t decisions_ = 0;
   std::size_t switches_ = 0;
 
-  /// Predicted output energy of `config` over now + the forecast rows.
-  double predicted_energy_j(const teg::ArrayConfig& config,
-                            const std::vector<double>& now_temps,
-                            const std::vector<std::vector<double>>& forecast,
-                            double ambient_c) const;
+  /// Predicted output energies of the hold/switch candidates over now + the
+  /// forecast rows, sharing one cached ArrayEvaluator per row.
+  std::pair<double, double> predicted_energies_j(
+      const teg::ArrayConfig& c_old, const teg::ArrayConfig& c_new,
+      const std::vector<double>& now_temps,
+      const std::vector<std::vector<double>>& forecast, double ambient_c) const;
 };
 
 }  // namespace tegrec::core

@@ -1,24 +1,87 @@
 #include "core/ehtr.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "core/objective.hpp"
+#include "teg/array_evaluator.hpp"
+#include "util/parallel.hpp"
 
 namespace tegrec::core {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Fills dp_cur / parent_cur for columns [lo, hi] of one DP layer, knowing
+// the argmin of every column lies in [klo, khi]:
+//
+//   dp_cur[i] = min_{k in [klo, min(khi, i - 1)]} dp_prev[k]
+//               + (prefix[i] - prefix[k])^2
+//
+// The squared-segment-sum cost is Monge (quadrangle inequality) for
+// non-negative currents, so the lowest argmin is monotone non-decreasing in
+// i and the classic divide-and-conquer optimisation applies: solve the
+// middle column by scanning its window, then recurse left/right with the
+// window split at the found argmin.  Each recursion level scans O(hi - lo +
+// khi - klo) candidates and the depth is O(log N), giving O(N log N) per
+// layer.  The initial call passes klo = j (the layer's smallest legal k)
+// and recursion only ever raises it, so klo stays legal throughout.  Ties
+// resolve to the lowest k — the same first-strict-improvement rule as the
+// cubic oracle, which keeps the two DPs' costs bit-identical whenever the
+// rounded costs stay Monge (inputs are validated finite; same-scale
+// physical MPP currents keep rounding far below the Monge gap).
+void solve_layer(const std::vector<double>& prefix,
+                 const std::vector<double>& dp_prev, std::size_t lo,
+                 std::size_t hi, std::size_t klo, std::size_t khi,
+                 std::vector<double>& dp_cur,
+                 std::vector<std::uint32_t>& parent_cur) {
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::size_t k_end = std::min(khi, mid - 1);  // inclusive; mid >= 2
+  double best = kInf;
+  std::size_t best_k = klo;
+  for (std::size_t k = klo; k <= k_end; ++k) {
+    const double s = prefix[mid] - prefix[k];
+    const double c = dp_prev[k] + s * s;
+    if (c < best) {
+      best = c;
+      best_k = k;
+    }
+  }
+  dp_cur[mid] = best;
+  parent_cur[mid] = static_cast<std::uint32_t>(best_k);
+  if (mid > lo) {
+    solve_layer(prefix, dp_prev, lo, mid - 1, klo, best_k, dp_cur, parent_cur);
+  }
+  if (mid < hi) {
+    solve_layer(prefix, dp_prev, mid + 1, hi, best_k, khi, dp_cur, parent_cur);
+  }
+}
+
+}  // namespace
+
 std::vector<teg::ArrayConfig> balanced_partitions(
-    const std::vector<double>& mpp_currents, std::size_t max_n) {
+    const std::vector<double>& mpp_currents, std::size_t max_n,
+    PartitionDp dp_kind) {
   const std::size_t count = mpp_currents.size();
   if (count == 0) throw std::invalid_argument("balanced_partitions: empty input");
   if (max_n == 0 || max_n > count) {
     throw std::invalid_argument("balanced_partitions: bad max_n");
   }
+  if (count >= std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("balanced_partitions: array too large");
+  }
   std::vector<double> prefix(count + 1, 0.0);
   for (std::size_t i = 0; i < count; ++i) {
-    if (mpp_currents[i] < 0.0) {
-      throw std::invalid_argument("balanced_partitions: negative current");
+    // Rejecting NaN/inf here (not just negatives) is what lets the
+    // divide-and-conquer path promise oracle-identical results: non-finite
+    // costs would break the argmin monotonicity the recursion relies on.
+    if (!std::isfinite(mpp_currents[i]) || mpp_currents[i] < 0.0) {
+      throw std::invalid_argument("balanced_partitions: non-finite or negative current");
     }
     prefix[i + 1] = prefix[i] + mpp_currents[i];
   }
@@ -27,28 +90,34 @@ std::vector<teg::ArrayConfig> balanced_partitions(
     return s * s;
   };
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  // dp[j][i]: minimal sum of squared group sums partitioning the first i
-  // modules into j+1 groups; parent[j][i] the split point achieving it.
-  std::vector<std::vector<double>> dp(max_n, std::vector<double>(count + 1, kInf));
-  std::vector<std::vector<std::size_t>> parent(
-      max_n, std::vector<std::size_t>(count + 1, 0));
-
-  for (std::size_t i = 1; i <= count; ++i) dp[0][i] = seg_cost(0, i);
+  // Layer j (j+1 groups) is valid for columns i in [j+1, count].  Only two
+  // value rows are live at a time; parents are kept per layer for the
+  // backtrack (uint32: half the footprint of size_t at N = 10k).
+  std::vector<std::vector<std::uint32_t>> parent(max_n);
+  std::vector<double> dp_prev(count + 1, kInf);
+  std::vector<double> dp_cur(count + 1, kInf);
+  for (std::size_t i = 1; i <= count; ++i) dp_prev[i] = seg_cost(0, i);
   for (std::size_t j = 1; j < max_n; ++j) {
-    for (std::size_t i = j + 1; i <= count; ++i) {
-      double best = kInf;
-      std::size_t best_k = j;
-      for (std::size_t k = j; k < i; ++k) {
-        const double c = dp[j - 1][k] + seg_cost(k, i);
-        if (c < best) {
-          best = c;
-          best_k = k;
+    parent[j].assign(count + 1, 0);
+    if (dp_kind == PartitionDp::kLegacyCubic) {
+      for (std::size_t i = j + 1; i <= count; ++i) {
+        double best = kInf;
+        std::size_t best_k = j;
+        for (std::size_t k = j; k < i; ++k) {
+          const double c = dp_prev[k] + seg_cost(k, i);
+          if (c < best) {
+            best = c;
+            best_k = k;
+          }
         }
+        dp_cur[i] = best;
+        parent[j][i] = static_cast<std::uint32_t>(best_k);
       }
-      dp[j][i] = best;
-      parent[j][i] = best_k;
+    } else {
+      solve_layer(prefix, dp_prev, j + 1, count, j, count - 1, dp_cur,
+                  parent[j]);
     }
+    dp_prev.swap(dp_cur);
   }
 
   std::vector<teg::ArrayConfig> out;
@@ -68,26 +137,42 @@ std::vector<teg::ArrayConfig> balanced_partitions(
 }
 
 teg::ArrayConfig ehtr_search(const teg::TegArray& array,
-                             const power::Converter& converter) {
-  const std::vector<double> impp = array.module_mpp_currents();
-  const std::vector<teg::ArrayConfig> candidates =
-      balanced_partitions(impp, array.size());
+                             const power::Converter& converter,
+                             std::size_t num_threads, PartitionDp dp_kind) {
+  std::vector<double> impp = array.module_mpp_currents();
+  // The DP only accepts finite currents; treat non-finite modules (NaN
+  // temperatures, open faults) as stone cold, the same way inor_partition
+  // treats dead modules.  Scoring below still sees the true NaN powers, so
+  // a fully degenerate array falls back to the first candidate.
+  for (double& x : impp) {
+    if (!std::isfinite(x)) x = 0.0;
+  }
+  std::vector<teg::ArrayConfig> candidates =
+      balanced_partitions(impp, array.size(), dp_kind);
+  const teg::ArrayEvaluator evaluator(array);
+  std::vector<double> scores(candidates.size());
+  util::parallel_for(candidates.size(), num_threads, [&](std::size_t i) {
+    scores[i] = config_power_w(evaluator, converter, candidates[i]);
+  });
+  // Sequential lowest-index argmax: deterministic for every thread count.
+  // NaN scores never beat the sentinel, so an all-NaN field degrades to the
+  // first candidate instead of dereferencing null.
+  std::size_t best_idx = 0;
   double best_power = -1.0;
-  const teg::ArrayConfig* best = nullptr;
-  for (const teg::ArrayConfig& c : candidates) {
-    const double p = config_power_w(array, converter, c);
-    if (p > best_power) {
-      best_power = p;
-      best = &c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > best_power) {
+      best_power = scores[i];
+      best_idx = i;
     }
   }
-  return *best;
+  return std::move(candidates[best_idx]);
 }
 
 EhtrReconfigurer::EhtrReconfigurer(const teg::DeviceParams& device,
                                    const power::ConverterParams& converter,
-                                   double period_s)
-    : device_(device), converter_(converter), period_s_(period_s) {
+                                   double period_s, std::size_t num_threads)
+    : device_(device), converter_(converter), period_s_(period_s),
+      num_threads_(num_threads) {
   if (period_s <= 0.0) throw std::invalid_argument("EhtrReconfigurer: period <= 0");
 }
 
@@ -101,7 +186,7 @@ UpdateResult EhtrReconfigurer::update(double time_s,
   }
   const auto t0 = std::chrono::steady_clock::now();
   const teg::TegArray array(device_, delta_t_k, ambient_c);
-  teg::ArrayConfig next = ehtr_search(array, converter_);
+  teg::ArrayConfig next = ehtr_search(array, converter_, num_threads_);
   result.compute_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   result.invoked = true;

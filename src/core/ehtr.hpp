@@ -9,11 +9,16 @@
 //
 //   dp[j][i] = min_k dp[j-1][k] + (prefix[i] - prefix[k])^2
 //
-// The DP table is O(N^2) states with O(N) transitions — the O(N^3) runtime
-// the paper attributes to EHTR — after which each n's partition is scored
-// with the same charger-aware objective.  Like INOR in the paper's
-// evaluation it re-runs every 0.5 s and always actuates, hence its large
-// switching overhead in Table I.
+// The naive DP is O(N^2) states with O(N) transitions — the O(N^3) runtime
+// the paper attributes to EHTR.  The squared-segment-sum cost satisfies the
+// quadrangle inequality for non-negative currents, so the per-layer argmin
+// is monotone in i and each layer collapses to O(N log N) by
+// divide-and-conquer optimisation: O(max_n * N log N) overall.  The cubic
+// DP is retained behind PartitionDp::kLegacyCubic as the reference oracle
+// (tests/test_ehtr_opt.cpp proves cost-identical partitions).  Each n's
+// partition is then scored with the same charger-aware objective.  Like
+// INOR in the paper's evaluation it re-runs every 0.5 s and always
+// actuates, hence its large switching overhead in Table I.
 #pragma once
 
 #include <cstddef>
@@ -25,22 +30,38 @@
 
 namespace tegrec::core {
 
+/// Which partition DP to run.  For the finite, same-scale currents the
+/// validation admits, both return cost-identical partitions; the cubic
+/// oracle exists for equivalence tests and old-vs-new benchmarking.
+enum class PartitionDp {
+  kDivideAndConquer,  ///< O(max_n * N log N) monotone divide-and-conquer
+  kLegacyCubic,       ///< O(max_n * N^2) full-scan reference oracle
+};
+
 /// Optimal contiguous partitions (by squared group-sum balance) of the MPP
 /// currents into every group count 1..max_n.  Element n-1 of the result is
-/// the best partition into n groups.  O(N^2 * max_n) time, O(N * max_n)
-/// memory.
+/// the best partition into n groups.  O(N * max_n) memory either way.
 std::vector<teg::ArrayConfig> balanced_partitions(
-    const std::vector<double>& mpp_currents, std::size_t max_n);
+    const std::vector<double>& mpp_currents, std::size_t max_n,
+    PartitionDp dp = PartitionDp::kDivideAndConquer);
 
-/// Full EHTR search: all group counts, charger-aware scoring.
+/// Full EHTR search: all group counts, charger-aware scoring over a cached
+/// ArrayEvaluator, candidates scored in parallel (`num_threads` as in
+/// util::parallel_for: 0 = hardware, 1 = inline).  The argmax takes the
+/// lowest-index candidate on ties, so the result is identical for every
+/// thread count; if no candidate scores above the sentinel (e.g. an
+/// all-NaN temperature field) the first candidate is returned.
 teg::ArrayConfig ehtr_search(const teg::TegArray& array,
-                             const power::Converter& converter);
+                             const power::Converter& converter,
+                             std::size_t num_threads = 1,
+                             PartitionDp dp = PartitionDp::kDivideAndConquer);
 
 /// Periodic controller wrapping ehtr_search (0.5 s period per [5]).
 class EhtrReconfigurer final : public Reconfigurer {
  public:
   EhtrReconfigurer(const teg::DeviceParams& device,
-                   const power::ConverterParams& converter, double period_s = 0.5);
+                   const power::ConverterParams& converter,
+                   double period_s = 0.5, std::size_t num_threads = 1);
 
   std::string name() const override { return "EHTR"; }
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
@@ -51,6 +72,7 @@ class EhtrReconfigurer final : public Reconfigurer {
   teg::DeviceParams device_;
   power::Converter converter_;
   double period_s_;
+  std::size_t num_threads_;
   double next_run_time_s_ = 0.0;
   bool has_config_ = false;
   teg::ArrayConfig current_;

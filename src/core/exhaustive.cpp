@@ -16,6 +16,7 @@ ExhaustiveResult exhaustive_contiguous_search(const teg::TegArray& array,
   }
   ExhaustiveResult best;
   best.power_w = -1.0;
+  const teg::ArrayEvaluator evaluator(array);
   const std::size_t masks = std::size_t{1} << (n - 1);
   for (std::size_t mask = 0; mask < masks; ++mask) {
     std::vector<std::size_t> starts{0};
@@ -23,7 +24,7 @@ ExhaustiveResult exhaustive_contiguous_search(const teg::TegArray& array,
       if (mask & (std::size_t{1} << i)) starts.push_back(i + 1);
     }
     teg::ArrayConfig candidate(std::move(starts), n);
-    const double p = config_power_w(array, converter, candidate);
+    const double p = config_power_w(evaluator, converter, candidate);
     ++best.evaluated;
     if (p > best.power_w) {
       best.power_w = p;

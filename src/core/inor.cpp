@@ -63,11 +63,12 @@ teg::ArrayConfig inor_search(const teg::TegArray& array,
   }
 
   const std::vector<double> impp = array.module_mpp_currents();
+  const teg::ArrayEvaluator evaluator(array);
   double best_power = -1.0;
   teg::ArrayConfig best;
   for (std::size_t n = nmin; n <= nmax; ++n) {
     teg::ArrayConfig candidate = inor_partition(impp, n);
-    const double p = config_power_w(array, converter, candidate);
+    const double p = config_power_w(evaluator, converter, candidate);
     if (p > best_power) {
       best_power = p;
       best = std::move(candidate);

@@ -14,6 +14,19 @@ power::OperatingPoint config_operating_point(const teg::TegArray& array,
   return power::optimal_operating_point(string, converter);
 }
 
+double config_power_w(const teg::ArrayEvaluator& evaluator,
+                      const power::Converter& converter,
+                      const teg::ArrayConfig& config) {
+  return config_operating_point(evaluator, converter, config).output_power_w;
+}
+
+power::OperatingPoint config_operating_point(const teg::ArrayEvaluator& evaluator,
+                                             const power::Converter& converter,
+                                             const teg::ArrayConfig& config) {
+  const teg::LinearSource port = evaluator.string_equivalent(config);
+  return power::optimal_operating_point(port.voc_v, port.r_ohm, converter);
+}
+
 power::Converter::GroupRange group_count_window(const teg::TegArray& array,
                                                 const power::Converter& converter) {
   double mean_vmpp = 0.0;

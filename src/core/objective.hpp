@@ -11,6 +11,7 @@
 #include "power/converter.hpp"
 #include "power/mppt.hpp"
 #include "teg/array.hpp"
+#include "teg/array_evaluator.hpp"
 #include "teg/config.hpp"
 
 namespace tegrec::core {
@@ -22,6 +23,18 @@ double config_power_w(const teg::TegArray& array, const power::Converter& conver
 
 /// Full operating point (current/voltage/raw/net power) of a configuration.
 power::OperatingPoint config_operating_point(const teg::TegArray& array,
+                                             const power::Converter& converter,
+                                             const teg::ArrayConfig& config);
+
+/// Cached variants: score against a prebuilt ArrayEvaluator in O(groups)
+/// instead of materialising a SeriesString of N module copies.  These are
+/// the hot-path overloads used by the candidate-scoring loops (EHTR, INOR,
+/// exhaustive) and the simulator's per-step evaluation.
+double config_power_w(const teg::ArrayEvaluator& evaluator,
+                      const power::Converter& converter,
+                      const teg::ArrayConfig& config);
+
+power::OperatingPoint config_operating_point(const teg::ArrayEvaluator& evaluator,
                                              const power::Converter& converter,
                                              const teg::ArrayConfig& config);
 

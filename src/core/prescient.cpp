@@ -20,23 +20,27 @@ PrescientReconfigurer::PrescientReconfigurer(
   }
 }
 
-double PrescientReconfigurer::future_energy_j(const teg::ArrayConfig& config,
-                                              double from_time_s) const {
-  // True output energy of `config` over [from, from + tp + 1) read straight
-  // from the trace — the quantity DNOR can only estimate.
+std::pair<double, double> PrescientReconfigurer::future_energies_j(
+    const teg::ArrayConfig& c_old, const teg::ArrayConfig& c_new,
+    double from_time_s) const {
+  // True output energies over [from, from + tp + 1) read straight from the
+  // trace — the quantities DNOR can only estimate.
   const double dt = trace_->dt_s();
   const std::size_t first = trace_->step_at_time(from_time_s);
   const auto steps = static_cast<std::size_t>(
       std::llround((params_.tp_s + 1.0) / dt));
-  double energy = 0.0;
+  double e_old = 0.0;
+  double e_new = 0.0;
   for (std::size_t k = 0; k < steps; ++k) {
     const std::size_t t = first + k;
     if (t >= trace_->num_steps()) break;
     const teg::TegArray array(device_, trace_->step_delta_t(t),
                               trace_->ambient_c(t));
-    energy += config_power_w(array, converter_, config) * dt;
+    const teg::ArrayEvaluator evaluator(array);
+    e_old += config_power_w(evaluator, converter_, c_old) * dt;
+    e_new += config_power_w(evaluator, converter_, c_new) * dt;
   }
-  return energy;
+  return {e_old, e_new};
 }
 
 UpdateResult PrescientReconfigurer::update(double time_s,
@@ -53,8 +57,7 @@ UpdateResult PrescientReconfigurer::update(double time_s,
 
   bool adopt = true;
   if (has_config_ && c_new != current_) {
-    const double e_old = future_energy_j(current_, time_s);
-    const double e_new = future_energy_j(c_new, time_s);
+    const auto [e_old, e_new] = future_energies_j(current_, c_new, time_s);
     const std::size_t toggles = 3 * current_.boundary_distance(c_new);
     const double p_now = config_power_w(array, converter_, current_);
     const double e_overhead =

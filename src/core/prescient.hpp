@@ -10,6 +10,8 @@
 // just another Reconfigurer.
 #pragma once
 
+#include <utility>
+
 #include "core/inor.hpp"
 #include "core/reconfigurer.hpp"
 #include "switchfab/overhead.hpp"
@@ -51,7 +53,11 @@ class PrescientReconfigurer final : public Reconfigurer {
   teg::ArrayConfig current_;
   std::size_t switches_ = 0;
 
-  double future_energy_j(const teg::ArrayConfig& config, double from_time_s) const;
+  /// True output energies of the hold/switch candidates over the lookahead
+  /// window, sharing one cached ArrayEvaluator per trace step.
+  std::pair<double, double> future_energies_j(const teg::ArrayConfig& c_old,
+                                              const teg::ArrayConfig& c_new,
+                                              double from_time_s) const;
 };
 
 }  // namespace tegrec::core

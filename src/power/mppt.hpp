@@ -33,6 +33,13 @@ OperatingPoint optimal_operating_point(const teg::SeriesString& string,
                                        const Converter& converter,
                                        double tol_a = 1e-6);
 
+/// Same search on a bare Thevenin port model V(I) = voc_v - I * r_ohm —
+/// the string reduced to its two scalars (e.g. by teg::ArrayEvaluator),
+/// bit-identical to the SeriesString overload for equal (voc, R).
+OperatingPoint optimal_operating_point(double voc_v, double r_ohm,
+                                       const Converter& converter,
+                                       double tol_a = 1e-6);
+
 /// Ideal-charger variant: maximises raw array power (closed form).
 OperatingPoint array_mpp_operating_point(const teg::SeriesString& string);
 

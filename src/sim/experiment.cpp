@@ -51,7 +51,8 @@ ComparisonResult run_standard_comparison(const thermal::TemperatureTrace& trace,
     out.runs.push_back(run_simulation(inor, trace, options.sim));
   }
   if (options.include_ehtr) {
-    core::EhtrReconfigurer ehtr(device, charger, options.control_period_s);
+    core::EhtrReconfigurer ehtr(device, charger, options.control_period_s,
+                                options.sim.num_threads);
     out.runs.push_back(run_simulation(ehtr, trace, options.sim));
   }
   if (options.include_baseline) {

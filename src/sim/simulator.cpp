@@ -8,6 +8,7 @@
 #include "power/charger.hpp"
 #include "switchfab/switch_network.hpp"
 #include "teg/array.hpp"
+#include "teg/array_evaluator.hpp"
 
 namespace tegrec::sim {
 
@@ -67,10 +68,12 @@ SimulationResult run_simulation(core::Reconfigurer& controller,
       result.total_switch_actuations += rec.switch_actuations;
     }
 
-    // Electrical evaluation at this period's temperatures.
+    // Electrical evaluation at this period's temperatures, through the
+    // cached prefix aggregates (no per-step SeriesString materialisation).
     const teg::TegArray array(options.device, delta_t, ambient);
-    rec.ideal_power_w = array.ideal_power_w();
-    rec.gross_power_w = core::config_power_w(array, converter, upd.config);
+    const teg::ArrayEvaluator evaluator(array);
+    rec.ideal_power_w = evaluator.ideal_power_w();
+    rec.gross_power_w = core::config_power_w(evaluator, converter, upd.config);
 
     // Overhead: an actuation blanks the output for sensing + compute +
     // switching + MPPT re-settle (Section III.C, model of [5]).

@@ -25,6 +25,10 @@ struct SimulationOptions {
   power::BatteryParams battery;               ///< 13.8 V lead-acid sink
   switchfab::OverheadParams overhead;         ///< actuation cost model
   bool charge_overhead = true;                ///< subtract actuation energy
+  /// Worker threads for controllers with parallel inner loops (EHTR's
+  /// candidate scoring; util::parallel_for semantics: 0 = hardware,
+  /// 1 = inline).  Results are bit-identical for every value.
+  std::size_t num_threads = 1;
 };
 
 /// One control period of the run.

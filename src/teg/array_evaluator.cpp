@@ -1,0 +1,52 @@
+#include "teg/array_evaluator.hpp"
+
+#include <stdexcept>
+
+#include "teg/module.hpp"
+
+namespace tegrec::teg {
+
+ArrayEvaluator::ArrayEvaluator(const TegArray& array) {
+  const std::size_t n = array.size();
+  conductance_prefix_.resize(n + 1, 0.0);
+  norton_prefix_.resize(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Module& m = array.module(i);
+    conductance_prefix_[i + 1] =
+        conductance_prefix_[i] + 1.0 / m.internal_resistance_ohm();
+    norton_prefix_[i + 1] =
+        norton_prefix_[i] +
+        m.open_circuit_voltage_v() / m.internal_resistance_ohm();
+    ideal_power_w_ += m.mpp_power_w();
+  }
+}
+
+LinearSource ArrayEvaluator::group_equivalent(std::size_t begin,
+                                              std::size_t end) const {
+  if (begin >= end || end > size()) {
+    throw std::out_of_range("ArrayEvaluator::group_equivalent: bad range");
+  }
+  const double g_sum = conductance_prefix_[end] - conductance_prefix_[begin];
+  const double norton = norton_prefix_[end] - norton_prefix_[begin];
+  LinearSource out;
+  out.r_ohm = 1.0 / g_sum;
+  out.voc_v = norton * out.r_ohm;
+  return out;
+}
+
+LinearSource ArrayEvaluator::string_equivalent(const ArrayConfig& config) const {
+  if (config.num_modules() != size()) {
+    throw std::invalid_argument(
+        "ArrayEvaluator::string_equivalent: config size mismatch");
+  }
+  LinearSource out;
+  for (std::size_t j = 0; j < config.num_groups(); ++j) {
+    const LinearSource g =
+        group_equivalent(config.group_begin(j), config.group_end(j));
+    out.voc_v += g.voc_v;
+    out.r_ohm += g.r_ohm;
+  }
+  return out;
+}
+
+}  // namespace tegrec::teg

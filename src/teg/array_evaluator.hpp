@@ -1,0 +1,61 @@
+// Cached O(groups) evaluation of array configurations.
+//
+// TegArray::build_string() aggregates a candidate configuration by copying
+// Module objects into fresh ParallelGroup containers — O(N) allocations and
+// copies per candidate, which dominates EHTR's ~N-candidate scoring loop and
+// the simulator's per-step evaluation.  The only per-module quantities those
+// aggregates actually consume are the conductance 1/R_i and the Norton
+// current Voc_i/R_i (see ParallelGroup's constructor); both are additive
+// over a parallel group, so prefix sums computed once per temperature
+// distribution turn any contiguous group's Thevenin equivalent into two
+// subtractions and a full ArrayConfig's port model into O(num_groups) work
+// with zero allocation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "teg/array.hpp"
+#include "teg/config.hpp"
+
+namespace tegrec::teg {
+
+/// Thevenin port model V(I) = voc_v - I * r_ohm of a group or string.
+struct LinearSource {
+  double voc_v = 0.0;
+  double r_ohm = 0.0;
+
+  double mpp_current_a() const { return voc_v / (2.0 * r_ohm); }
+  double mpp_voltage_v() const { return voc_v / 2.0; }
+  double mpp_power_w() const { return voc_v * voc_v / (4.0 * r_ohm); }
+};
+
+class ArrayEvaluator {
+ public:
+  /// Snapshots the array's per-module aggregates; the evaluator owns its
+  /// data and stays valid after the TegArray is destroyed.
+  explicit ArrayEvaluator(const TegArray& array);
+
+  std::size_t size() const { return conductance_prefix_.size() - 1; }
+
+  /// Thevenin equivalent of modules [begin, end) wired in parallel.
+  LinearSource group_equivalent(std::size_t begin, std::size_t end) const;
+
+  /// Port model of a configuration's series string of parallel groups.
+  LinearSource string_equivalent(const ArrayConfig& config) const;
+
+  /// Ideal-charger MPP power of a configuration (closed form).
+  double mpp_power_w(const ArrayConfig& config) const {
+    return string_equivalent(config).mpp_power_w();
+  }
+
+  /// Sum of per-module MPPs: the P_ideal normaliser (config-independent).
+  double ideal_power_w() const { return ideal_power_w_; }
+
+ private:
+  std::vector<double> conductance_prefix_;  ///< prefix sums of 1/R_i
+  std::vector<double> norton_prefix_;       ///< prefix sums of Voc_i/R_i
+  double ideal_power_w_ = 0.0;
+};
+
+}  // namespace tegrec::teg

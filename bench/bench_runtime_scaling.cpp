@@ -1,16 +1,28 @@
-// Runtime scaling of the reconfiguration searches toward 10k-module farms.
+// Runtime and memory scaling of the reconfiguration searches toward
+// 10k-module farms.
 //
 // The paper attributes O(N^3) to EHTR (Sections I/V); this harness times
 // the legacy cubic path (full-scan DP + per-candidate SeriesString
-// scoring) against the optimised path (divide-and-conquer monotone DP +
-// cached ArrayEvaluator scoring) across N in {64, 256, 1024, 4096, 10000},
-// with INOR's O(N) search for contrast.  The legacy path is skipped above
-// N = 1024, where the cubic DP alone would take minutes.
+// scoring), the materialising path (divide-and-conquer DP + a full
+// std::vector<ArrayConfig> of candidates scored via ArrayEvaluator — the
+// O(N^2)-memory shape the streaming refactor replaced), and the streaming
+// path (candidates reconstructed out of a PartitionTable and scored during
+// backtrack) across N in {64, 256, 1024, 4096, 10000}, with INOR's O(N)
+// search for contrast.  The legacy path is skipped above N = 1024, where
+// the cubic DP alone would take minutes.
+//
+// Each timed search also records its peak RSS (VmHWM, reset per
+// measurement via /proc/self/clear_refs where the kernel allows it), so
+// the memory trajectory regresses alongside runtime: at N = 10000 the
+// materialised candidate vector alone is ~400 MB that the streaming path
+// never allocates.
 //
 // Emits a human table on stdout plus machine-readable CSV and JSON
 // (default runtime_scaling.csv / runtime_scaling.json; override with
 // --csv PATH / --json PATH, or disable the N = 10000 row with --quick) so
-// future PRs have a perf trajectory to regress against.
+// future PRs have a perf trajectory to regress against.  Unmeasured cells
+// are empty in the CSV / null in the JSON; util::csv_from_string reads
+// them back as NaN.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -18,10 +30,18 @@
 #include <string>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "core/ehtr.hpp"
 #include "core/inor.hpp"
 #include "core/objective.hpp"
 #include "teg/array.hpp"
+#include "teg/array_evaluator.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,6 +68,44 @@ double time_s(Fn&& fn) {
       .count();
 }
 
+// Peak RSS (VmHWM) in MB from /proc/self/status, falling back to
+// getrusage's monotone high-water mark where /proc is unavailable.
+double peak_rss_mb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    long kb = -1;
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0) return static_cast<double>(kb) / 1024.0;
+  }
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kB on Linux
+  }
+#endif
+  return std::nan("");
+}
+
+// Resets the kernel's RSS high-water mark so per-measurement peaks are
+// meaningful; best-effort (a read-only /proc leaves VmHWM monotone, which
+// still bounds each measurement from above).  Freed glibc heap is trimmed
+// back to the OS first so one measurement's residue does not become the
+// next one's floor.
+void reset_peak_rss() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+#endif
+}
+
 // The pre-optimisation EHTR search: cubic DP, then every candidate scored
 // by materialising a SeriesString of N module copies.
 teg::ArrayConfig legacy_ehtr_search(const teg::TegArray& array,
@@ -66,15 +124,45 @@ teg::ArrayConfig legacy_ehtr_search(const teg::TegArray& array,
   return *best;
 }
 
+// The intermediate (PR 2) shape: fast DP and cached scoring, but the full
+// candidate vector is still materialised — O(N^2) bytes of group starts.
+teg::ArrayConfig materialising_ehtr_search(const teg::TegArray& array,
+                                           const power::Converter& converter) {
+  const std::vector<teg::ArrayConfig> candidates = core::balanced_partitions(
+      array.module_mpp_currents(), array.size(),
+      core::PartitionDp::kDivideAndConquer);
+  const teg::ArrayEvaluator evaluator(array);
+  double best_power = -1.0;
+  const teg::ArrayConfig* best = &candidates.front();
+  for (const teg::ArrayConfig& c : candidates) {
+    const double p = core::config_power_w(evaluator, converter, c);
+    if (p > best_power) {
+      best_power = p;
+      best = &c;
+    }
+  }
+  return *best;
+}
+
 struct Row {
   std::size_t n = 0;
   double inor_s = 0.0;
   double dc_dp_s = 0.0;
   double new_search_s = 0.0;
+  double new_peak_rss_mb = std::nan("");
+  double mat_search_s = 0.0;
+  double mat_peak_rss_mb = std::nan("");
   double legacy_dp_s = std::nan("");
   double legacy_search_s = std::nan("");
   double speedup() const { return legacy_search_s / new_search_s; }
 };
+
+std::string cell(double v, const char* format) {
+  if (std::isnan(v)) return std::string();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, format, v);
+  return std::string(buf);
+}
 
 }  // namespace
 
@@ -95,7 +183,8 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes{64, 256, 1024, 4096, 10000};
   if (quick) sizes.pop_back();
 
-  std::printf("=== EHTR runtime scaling: legacy O(N^3) vs optimised path ===\n\n");
+  std::printf("=== EHTR scaling: runtime and peak RSS, streaming vs "
+              "materialising vs legacy ===\n\n");
   std::vector<Row> rows;
   for (const std::size_t n : sizes) {
     Row row;
@@ -105,9 +194,17 @@ int main(int argc, char** argv) {
 
     row.inor_s = time_s([&] { core::inor_search(array, conv); });
     row.dc_dp_s = time_s([&] {
-      core::balanced_partitions(impp, n, core::PartitionDp::kDivideAndConquer);
+      core::PartitionTable table(impp, n, core::PartitionDp::kDivideAndConquer);
     });
+    // Streaming first, materialising second: small freed allocations can
+    // linger in the heap arena, so the order keeps each measurement's
+    // baseline as clean as the allocator allows.
+    reset_peak_rss();
     row.new_search_s = time_s([&] { core::ehtr_search(array, conv, 1); });
+    row.new_peak_rss_mb = peak_rss_mb();
+    reset_peak_rss();
+    row.mat_search_s = time_s([&] { materialising_ehtr_search(array, conv); });
+    row.mat_peak_rss_mb = peak_rss_mb();
     if (n <= kLegacyCap) {
       row.legacy_dp_s = time_s([&] {
         core::balanced_partitions(impp, n, core::PartitionDp::kLegacyCubic);
@@ -115,11 +212,15 @@ int main(int argc, char** argv) {
       row.legacy_search_s = time_s([&] { legacy_ehtr_search(array, conv); });
     }
     rows.push_back(row);
-    std::printf("  N = %5zu done (new EHTR search %.3f s)\n", n, row.new_search_s);
+    std::printf("  N = %5zu done (streaming EHTR %.3f s, peak %.1f MB; "
+                "materialising %.3f s, peak %.1f MB)\n",
+                n, row.new_search_s, row.new_peak_rss_mb, row.mat_search_s,
+                row.mat_peak_rss_mb);
   }
 
   std::printf("\n");
-  util::TextTable table({"N", "INOR (s)", "DP d&c (s)", "EHTR new (s)",
+  util::TextTable table({"N", "INOR (s)", "DP d&c (s)", "EHTR stream (s)",
+                         "stream RSS (MB)", "EHTR mat. (s)", "mat. RSS (MB)",
                          "DP legacy (s)", "EHTR legacy (s)", "speedup"});
   for (const Row& r : rows) {
     table.begin_row()
@@ -127,28 +228,30 @@ int main(int argc, char** argv) {
         .add(r.inor_s, 5)
         .add(r.dc_dp_s, 5)
         .add(r.new_search_s, 5)
+        .add(r.new_peak_rss_mb, 1)
+        .add(r.mat_search_s, 5)
+        .add(r.mat_peak_rss_mb, 1)
         .add(r.legacy_dp_s, 5)
         .add(r.legacy_search_s, 5)
         .add(r.speedup(), 1);
   }
   std::printf("%s\n", table.render().c_str());
 
-  // Unmeasured legacy fields (NaN) become empty CSV cells / JSON nulls so
-  // both files stay parseable by strict readers.
+  // Unmeasured fields (NaN) become empty CSV cells / JSON nulls so both
+  // files stay parseable by strict readers — util::csv_from_string reads
+  // the empty cells (trailing ones included) back as NaN.
   if (std::FILE* csv = std::fopen(csv_path.c_str(), "w")) {
     std::fprintf(csv,
-                 "n,inor_s,dc_dp_s,new_search_s,legacy_dp_s,legacy_search_s,"
-                 "speedup\n");
+                 "n,inor_s,dc_dp_s,new_search_s,new_peak_rss_mb,mat_search_s,"
+                 "mat_peak_rss_mb,legacy_dp_s,legacy_search_s,speedup\n");
     for (const Row& r : rows) {
-      auto cell = [](double v) {
-        char buf[32];
-        if (std::isnan(v)) return std::string();
-        std::snprintf(buf, sizeof buf, "%.9f", v);
-        return std::string(buf);
-      };
-      std::fprintf(csv, "%zu,%.9f,%.9f,%.9f,%s,%s,%s\n", r.n, r.inor_s,
-                   r.dc_dp_s, r.new_search_s, cell(r.legacy_dp_s).c_str(),
-                   cell(r.legacy_search_s).c_str(), cell(r.speedup()).c_str());
+      std::fprintf(csv, "%zu,%.9f,%.9f,%.9f,%s,%.9f,%s,%s,%s,%s\n", r.n,
+                   r.inor_s, r.dc_dp_s, r.new_search_s,
+                   cell(r.new_peak_rss_mb, "%.3f").c_str(), r.mat_search_s,
+                   cell(r.mat_peak_rss_mb, "%.3f").c_str(),
+                   cell(r.legacy_dp_s, "%.9f").c_str(),
+                   cell(r.legacy_search_s, "%.9f").c_str(),
+                   cell(r.speedup(), "%.9f").c_str());
     }
     std::fclose(csv);
     std::printf("wrote %s\n", csv_path.c_str());
@@ -157,18 +260,21 @@ int main(int argc, char** argv) {
     std::fprintf(json, "[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
-      // JSON has no NaN literal; legacy fields are null where not measured.
+      // JSON has no NaN literal; unmeasured fields are null.
       auto num = [](double v) {
-        return std::isnan(v) ? std::string("null")
-                             : std::to_string(v);
+        return std::isnan(v) ? std::string("null") : std::to_string(v);
       };
       std::fprintf(json,
                    "  {\"n\": %zu, \"inor_s\": %.9f, \"dc_dp_s\": %.9f, "
-                   "\"new_search_s\": %.9f, \"legacy_dp_s\": %s, "
-                   "\"legacy_search_s\": %s, \"speedup\": %s}%s\n",
+                   "\"new_search_s\": %.9f, \"new_peak_rss_mb\": %s, "
+                   "\"mat_search_s\": %.9f, \"mat_peak_rss_mb\": %s, "
+                   "\"legacy_dp_s\": %s, \"legacy_search_s\": %s, "
+                   "\"speedup\": %s}%s\n",
                    r.n, r.inor_s, r.dc_dp_s, r.new_search_s,
-                   num(r.legacy_dp_s).c_str(), num(r.legacy_search_s).c_str(),
-                   num(r.speedup()).c_str(), i + 1 < rows.size() ? "," : "");
+                   num(r.new_peak_rss_mb).c_str(), r.mat_search_s,
+                   num(r.mat_peak_rss_mb).c_str(), num(r.legacy_dp_s).c_str(),
+                   num(r.legacy_search_s).c_str(), num(r.speedup()).c_str(),
+                   i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "]\n");
     std::fclose(json);

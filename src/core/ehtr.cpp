@@ -1,5 +1,6 @@
 #include "core/ehtr.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -38,8 +39,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 void solve_layer(const std::vector<double>& prefix,
                  const std::vector<double>& dp_prev, std::size_t lo,
                  std::size_t hi, std::size_t klo, std::size_t khi,
-                 std::vector<double>& dp_cur,
-                 std::vector<std::uint32_t>& parent_cur) {
+                 std::vector<double>& dp_cur, std::uint32_t* parent_cur) {
   const std::size_t mid = lo + (hi - lo) / 2;
   const std::size_t k_end = std::min(khi, mid - 1);  // inclusive; mid >= 2
   double best = kInf;
@@ -64,24 +64,23 @@ void solve_layer(const std::vector<double>& prefix,
 
 }  // namespace
 
-std::vector<teg::ArrayConfig> balanced_partitions(
-    const std::vector<double>& mpp_currents, std::size_t max_n,
-    PartitionDp dp_kind) {
-  const std::size_t count = mpp_currents.size();
-  if (count == 0) throw std::invalid_argument("balanced_partitions: empty input");
-  if (max_n == 0 || max_n > count) {
-    throw std::invalid_argument("balanced_partitions: bad max_n");
+PartitionTable::PartitionTable(const std::vector<double>& mpp_currents,
+                               std::size_t max_groups, PartitionDp dp_kind)
+    : count_(mpp_currents.size()), max_groups_(max_groups) {
+  if (count_ == 0) throw std::invalid_argument("PartitionTable: empty input");
+  if (max_groups_ == 0 || max_groups_ > count_) {
+    throw std::invalid_argument("PartitionTable: bad max_groups");
   }
-  if (count >= std::numeric_limits<std::uint32_t>::max()) {
-    throw std::invalid_argument("balanced_partitions: array too large");
+  if (count_ >= std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("PartitionTable: array too large");
   }
-  std::vector<double> prefix(count + 1, 0.0);
-  for (std::size_t i = 0; i < count; ++i) {
+  std::vector<double> prefix(count_ + 1, 0.0);
+  for (std::size_t i = 0; i < count_; ++i) {
     // Rejecting NaN/inf here (not just negatives) is what lets the
     // divide-and-conquer path promise oracle-identical results: non-finite
     // costs would break the argmin monotonicity the recursion relies on.
     if (!std::isfinite(mpp_currents[i]) || mpp_currents[i] < 0.0) {
-      throw std::invalid_argument("balanced_partitions: non-finite or negative current");
+      throw std::invalid_argument("PartitionTable: non-finite or negative current");
     }
     prefix[i + 1] = prefix[i] + mpp_currents[i];
   }
@@ -92,15 +91,17 @@ std::vector<teg::ArrayConfig> balanced_partitions(
 
   // Layer j (j+1 groups) is valid for columns i in [j+1, count].  Only two
   // value rows are live at a time; parents are kept per layer for the
-  // backtrack (uint32: half the footprint of size_t at N = 10k).
-  std::vector<std::vector<std::uint32_t>> parent(max_n);
-  std::vector<double> dp_prev(count + 1, kInf);
-  std::vector<double> dp_cur(count + 1, kInf);
-  for (std::size_t i = 1; i <= count; ++i) dp_prev[i] = seg_cost(0, i);
-  for (std::size_t j = 1; j < max_n; ++j) {
-    parent[j].assign(count + 1, 0);
+  // backtrack in one flat uint32 arena — half the footprint of size_t at
+  // N = 10k, and the only DP state that outlives construction.
+  const std::size_t stride = count_ + 1;
+  parents_.assign((max_groups_ - 1) * stride, 0);
+  std::vector<double> dp_prev(count_ + 1, kInf);
+  std::vector<double> dp_cur(count_ + 1, kInf);
+  for (std::size_t i = 1; i <= count_; ++i) dp_prev[i] = seg_cost(0, i);
+  for (std::size_t j = 1; j < max_groups_; ++j) {
+    std::uint32_t* parent_row = parents_.data() + (j - 1) * stride;
     if (dp_kind == PartitionDp::kLegacyCubic) {
-      for (std::size_t i = j + 1; i <= count; ++i) {
+      for (std::size_t i = j + 1; i <= count_; ++i) {
         double best = kInf;
         std::size_t best_k = j;
         for (std::size_t k = j; k < i; ++k) {
@@ -111,34 +112,54 @@ std::vector<teg::ArrayConfig> balanced_partitions(
           }
         }
         dp_cur[i] = best;
-        parent[j][i] = static_cast<std::uint32_t>(best_k);
+        parent_row[i] = static_cast<std::uint32_t>(best_k);
       }
     } else {
-      solve_layer(prefix, dp_prev, j + 1, count, j, count - 1, dp_cur,
-                  parent[j]);
+      solve_layer(prefix, dp_prev, j + 1, count_, j, count_ - 1, dp_cur,
+                  parent_row);
     }
     dp_prev.swap(dp_cur);
   }
+}
 
+void PartitionTable::reconstruct(std::size_t n,
+                                 std::vector<std::size_t>& starts) const {
+  if (n == 0 || n > max_groups_) {
+    throw std::out_of_range("PartitionTable::reconstruct: bad group count");
+  }
+  starts.resize(n);
+  const std::size_t stride = count_ + 1;
+  std::size_t i = count_;
+  for (std::size_t j = n; j-- > 1;) {
+    const std::size_t k = parents_[(j - 1) * stride + i];
+    starts[j] = k;
+    i = k;
+  }
+  starts[0] = 0;
+}
+
+teg::ArrayConfig PartitionTable::config(std::size_t n) const {
+  std::vector<std::size_t> starts;
+  reconstruct(n, starts);
+  return teg::ArrayConfig(std::move(starts), count_);
+}
+
+std::vector<teg::ArrayConfig> balanced_partitions(
+    const std::vector<double>& mpp_currents, std::size_t max_n,
+    PartitionDp dp_kind) {
+  const PartitionTable table(mpp_currents, max_n, dp_kind);
   std::vector<teg::ArrayConfig> out;
   out.reserve(max_n);
-  for (std::size_t n = 1; n <= max_n; ++n) {
-    std::vector<std::size_t> starts(n);
-    std::size_t i = count;
-    for (std::size_t j = n; j-- > 1;) {
-      const std::size_t k = parent[j][i];
-      starts[j] = k;
-      i = k;
-    }
-    starts[0] = 0;
-    out.emplace_back(std::move(starts), count);
-  }
+  table.for_each_candidate([&](std::size_t, const std::vector<std::size_t>& starts) {
+    out.emplace_back(starts, table.num_modules());
+  });
   return out;
 }
 
 teg::ArrayConfig ehtr_search(const teg::TegArray& array,
                              const power::Converter& converter,
-                             std::size_t num_threads, PartitionDp dp_kind) {
+                             std::size_t num_threads, PartitionDp dp_kind,
+                             std::size_t max_groups) {
   std::vector<double> impp = array.module_mpp_currents();
   // The DP only accepts finite currents; treat non-finite modules (NaN
   // temperatures, open faults) as stone cold, the same way inor_partition
@@ -147,32 +168,56 @@ teg::ArrayConfig ehtr_search(const teg::TegArray& array,
   for (double& x : impp) {
     if (!std::isfinite(x)) x = 0.0;
   }
-  std::vector<teg::ArrayConfig> candidates =
-      balanced_partitions(impp, array.size(), dp_kind);
+  const std::size_t count = array.size();
+  if (max_groups == 0 || max_groups > count) max_groups = count;
+  const PartitionTable table(impp, max_groups, dp_kind);
   const teg::ArrayEvaluator evaluator(array);
-  std::vector<double> scores(candidates.size());
-  util::parallel_for(candidates.size(), num_threads, [&](std::size_t i) {
-    scores[i] = config_power_w(evaluator, converter, candidates[i]);
+
+  // Streamed scoring: candidates are reconstructed chunk by chunk into
+  // per-chunk scratch and scored immediately — only the score table (O(N)
+  // doubles) and one starts buffer per in-flight chunk stay resident,
+  // never the O(N^2) materialised candidate vector.  Scores are identical
+  // to the materialising path for any chunking, and the argmax below is a
+  // sequential lowest-index scan, so the chosen config is bit-identical
+  // for every thread count.
+  std::vector<double> scores(max_groups);
+  const std::size_t workers =
+      num_threads == 0 ? util::default_parallelism() : num_threads;
+  // ~4 chunks per worker keeps the atomic-claiming load balancer effective
+  // while amortising each chunk's scratch buffer over many candidates.
+  const std::size_t num_chunks =
+      std::min(max_groups, std::max<std::size_t>(1, 4 * workers));
+  const std::size_t chunk_len = (max_groups + num_chunks - 1) / num_chunks;
+  util::parallel_for(num_chunks, num_threads, [&](std::size_t c) {
+    const std::size_t first_n = 1 + c * chunk_len;
+    const std::size_t last_n = std::min(max_groups, first_n + chunk_len - 1);
+    std::vector<std::size_t> starts;
+    starts.reserve(last_n);
+    for (std::size_t n = first_n; n <= last_n; ++n) {
+      table.reconstruct(n, starts);
+      scores[n - 1] = config_power_w(evaluator, converter, starts);
+    }
   });
   // Sequential lowest-index argmax: deterministic for every thread count.
   // NaN scores never beat the sentinel, so an all-NaN field degrades to the
   // first candidate instead of dereferencing null.
-  std::size_t best_idx = 0;
+  std::size_t best_n = 1;
   double best_power = -1.0;
   for (std::size_t i = 0; i < scores.size(); ++i) {
     if (scores[i] > best_power) {
       best_power = scores[i];
-      best_idx = i;
+      best_n = i + 1;
     }
   }
-  return std::move(candidates[best_idx]);
+  return table.config(best_n);
 }
 
 EhtrReconfigurer::EhtrReconfigurer(const teg::DeviceParams& device,
                                    const power::ConverterParams& converter,
-                                   double period_s, std::size_t num_threads)
+                                   double period_s, std::size_t num_threads,
+                                   std::size_t max_groups)
     : device_(device), converter_(converter), period_s_(period_s),
-      num_threads_(num_threads) {
+      num_threads_(num_threads), max_groups_(max_groups) {
   if (period_s <= 0.0) throw std::invalid_argument("EhtrReconfigurer: period <= 0");
 }
 
@@ -186,7 +231,9 @@ UpdateResult EhtrReconfigurer::update(double time_s,
   }
   const auto t0 = std::chrono::steady_clock::now();
   const teg::TegArray array(device_, delta_t_k, ambient_c);
-  teg::ArrayConfig next = ehtr_search(array, converter_, num_threads_);
+  teg::ArrayConfig next = ehtr_search(array, converter_, num_threads_,
+                                      PartitionDp::kDivideAndConquer,
+                                      max_groups_);
   result.compute_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   result.invoked = true;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/reconfigurer.hpp"
@@ -38,30 +39,87 @@ enum class PartitionDp {
   kLegacyCubic,       ///< O(max_n * N^2) full-scan reference oracle
 };
 
+/// Owns the partition DP's backtracking state: one flat uint32 parent arena
+/// (max_groups - 1 layers x N + 1 columns) instead of N materialised
+/// ArrayConfigs.  Candidates are reconstructed on demand into a caller
+/// scratch buffer, so a full EHTR sweep keeps O(N) bytes of candidate state
+/// resident where materialising all partitions costs O(N^2) (~400 MB at
+/// N = 10k) on top of the arena.
+class PartitionTable {
+ public:
+  /// Solves the balanced-partition DP for group counts 1..max_groups.
+  /// Throws std::invalid_argument on empty/non-finite/negative currents or
+  /// max_groups outside [1, N] — same contract as balanced_partitions.
+  PartitionTable(const std::vector<double>& mpp_currents,
+                 std::size_t max_groups,
+                 PartitionDp dp = PartitionDp::kDivideAndConquer);
+
+  std::size_t num_modules() const { return count_; }
+  std::size_t max_groups() const { return max_groups_; }
+
+  /// Writes the optimal n-group partition's group starts into `starts`
+  /// (resized to n; capacity is reused across calls).  n in [1, max_groups].
+  void reconstruct(std::size_t n, std::vector<std::size_t>& starts) const;
+
+  /// Materialises the optimal n-group partition as an ArrayConfig.
+  teg::ArrayConfig config(std::size_t n) const;
+
+  /// Calls fn(n, starts) for every n in [1, max_groups] in order, reusing
+  /// one scratch buffer — the streaming replacement for iterating a
+  /// materialised candidate vector.
+  template <typename Fn>
+  void for_each_candidate(Fn&& fn) const {
+    std::vector<std::size_t> starts;
+    starts.reserve(max_groups_);
+    for (std::size_t n = 1; n <= max_groups_; ++n) {
+      reconstruct(n, starts);
+      fn(n, static_cast<const std::vector<std::size_t>&>(starts));
+    }
+  }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t max_groups_ = 0;
+  /// Layer-major: parents_[(j - 1) * (count_ + 1) + i] is the best split
+  /// point k for dp[j][i] (layer j = one more group than layer j - 1).
+  std::vector<std::uint32_t> parents_;
+};
+
 /// Optimal contiguous partitions (by squared group-sum balance) of the MPP
 /// currents into every group count 1..max_n.  Element n-1 of the result is
-/// the best partition into n groups.  O(N * max_n) memory either way.
+/// the best partition into n groups.  Thin materialising wrapper over
+/// PartitionTable (O(N * max_n) memory) for callers that genuinely need
+/// every candidate at once; the EHTR hot path streams instead.
 std::vector<teg::ArrayConfig> balanced_partitions(
     const std::vector<double>& mpp_currents, std::size_t max_n,
     PartitionDp dp = PartitionDp::kDivideAndConquer);
 
-/// Full EHTR search: all group counts, charger-aware scoring over a cached
-/// ArrayEvaluator, candidates scored in parallel (`num_threads` as in
-/// util::parallel_for: 0 = hardware, 1 = inline).  The argmax takes the
-/// lowest-index candidate on ties, so the result is identical for every
-/// thread count; if no candidate scores above the sentinel (e.g. an
-/// all-NaN temperature field) the first candidate is returned.
+/// Full EHTR search: group counts 1..max_groups (0 = all N, values above N
+/// clamp to N), charger-aware scoring over a cached ArrayEvaluator.
+/// Candidates are streamed out of a PartitionTable and scored in parallel
+/// chunks with per-thread scratch (`num_threads` as in util::parallel_for:
+/// 0 = hardware, 1 = inline), so only the chosen config is ever
+/// materialised — O(N) candidate bytes instead of the old O(N^2) vector.
+/// The argmax is a sequential lowest-index scan over the score table, so
+/// the result is bit-identical to scoring the materialised candidate list
+/// for every thread count; if no candidate scores above the sentinel
+/// (e.g. an all-NaN temperature field) the first candidate is returned.
 teg::ArrayConfig ehtr_search(const teg::TegArray& array,
                              const power::Converter& converter,
                              std::size_t num_threads = 1,
-                             PartitionDp dp = PartitionDp::kDivideAndConquer);
+                             PartitionDp dp = PartitionDp::kDivideAndConquer,
+                             std::size_t max_groups = 0);
 
 /// Periodic controller wrapping ehtr_search (0.5 s period per [5]).
+/// `max_groups` bounds both the candidate sweep and the DP parent arena
+/// (0 = no cap); operators of farm-scale arrays use it to trade optimality
+/// headroom for memory.
 class EhtrReconfigurer final : public Reconfigurer {
  public:
   EhtrReconfigurer(const teg::DeviceParams& device,
                    const power::ConverterParams& converter,
-                   double period_s = 0.5, std::size_t num_threads = 1);
+                   double period_s = 0.5, std::size_t num_threads = 1,
+                   std::size_t max_groups = 0);
 
   std::string name() const override { return "EHTR"; }
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
@@ -73,6 +131,7 @@ class EhtrReconfigurer final : public Reconfigurer {
   power::Converter converter_;
   double period_s_;
   std::size_t num_threads_;
+  std::size_t max_groups_;
   double next_run_time_s_ = 0.0;
   bool has_config_ = false;
   teg::ArrayConfig current_;

@@ -27,6 +27,20 @@ power::OperatingPoint config_operating_point(const teg::ArrayEvaluator& evaluato
   return power::optimal_operating_point(port.voc_v, port.r_ohm, converter);
 }
 
+double config_power_w(const teg::ArrayEvaluator& evaluator,
+                      const power::Converter& converter,
+                      std::span<const std::size_t> group_starts) {
+  return config_operating_point(evaluator, converter, group_starts)
+      .output_power_w;
+}
+
+power::OperatingPoint config_operating_point(
+    const teg::ArrayEvaluator& evaluator, const power::Converter& converter,
+    std::span<const std::size_t> group_starts) {
+  const teg::LinearSource port = evaluator.string_equivalent(group_starts);
+  return power::optimal_operating_point(port.voc_v, port.r_ohm, converter);
+}
+
 power::Converter::GroupRange group_count_window(const teg::TegArray& array,
                                                 const power::Converter& converter) {
   double mean_vmpp = 0.0;

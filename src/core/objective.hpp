@@ -8,6 +8,8 @@
 // this one function.
 #pragma once
 
+#include <span>
+
 #include "power/converter.hpp"
 #include "power/mppt.hpp"
 #include "teg/array.hpp"
@@ -37,6 +39,18 @@ double config_power_w(const teg::ArrayEvaluator& evaluator,
 power::OperatingPoint config_operating_point(const teg::ArrayEvaluator& evaluator,
                                              const power::Converter& converter,
                                              const teg::ArrayConfig& config);
+
+/// Streaming variants: score a candidate from its raw group starts (first
+/// 0, strictly increasing, last group implicit to the end) without
+/// materialising an ArrayConfig.  Bit-identical to the ArrayConfig
+/// overloads; used by EHTR's backtrack-and-score sweep.
+double config_power_w(const teg::ArrayEvaluator& evaluator,
+                      const power::Converter& converter,
+                      std::span<const std::size_t> group_starts);
+
+power::OperatingPoint config_operating_point(
+    const teg::ArrayEvaluator& evaluator, const power::Converter& converter,
+    std::span<const std::size_t> group_starts);
 
 /// The [nmin, nmax] group-count window of Algorithm 1, derived from the
 /// converter's efficient input range and the array's mean module MPP

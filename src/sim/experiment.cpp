@@ -52,7 +52,8 @@ ComparisonResult run_standard_comparison(const thermal::TemperatureTrace& trace,
   }
   if (options.include_ehtr) {
     core::EhtrReconfigurer ehtr(device, charger, options.control_period_s,
-                                options.sim.num_threads);
+                                options.sim.num_threads,
+                                options.sim.ehtr_max_groups);
     out.runs.push_back(run_simulation(ehtr, trace, options.sim));
   }
   if (options.include_baseline) {

@@ -29,6 +29,10 @@ struct SimulationOptions {
   /// candidate scoring; util::parallel_for semantics: 0 = hardware,
   /// 1 = inline).  Results are bit-identical for every value.
   std::size_t num_threads = 1;
+  /// Cap on EHTR's candidate group counts (0 = all N).  Bounds the DP
+  /// parent arena — the dominant allocation at farm scale — at the cost of
+  /// never choosing a config with more than this many series groups.
+  std::size_t ehtr_max_groups = 0;
 };
 
 /// One control period of the run.

@@ -39,10 +39,23 @@ LinearSource ArrayEvaluator::string_equivalent(const ArrayConfig& config) const 
     throw std::invalid_argument(
         "ArrayEvaluator::string_equivalent: config size mismatch");
   }
+  return string_equivalent(std::span<const std::size_t>(config.group_starts()));
+}
+
+LinearSource ArrayEvaluator::string_equivalent(
+    std::span<const std::size_t> group_starts) const {
+  if (group_starts.empty() || group_starts.front() != 0) {
+    throw std::invalid_argument(
+        "ArrayEvaluator::string_equivalent: group starts must begin at 0");
+  }
   LinearSource out;
-  for (std::size_t j = 0; j < config.num_groups(); ++j) {
-    const LinearSource g =
-        group_equivalent(config.group_begin(j), config.group_end(j));
+  for (std::size_t j = 0; j < group_starts.size(); ++j) {
+    const std::size_t begin = group_starts[j];
+    const std::size_t end =
+        j + 1 < group_starts.size() ? group_starts[j + 1] : size();
+    // group_equivalent rejects begin >= end, which covers non-increasing
+    // or out-of-range starts.
+    const LinearSource g = group_equivalent(begin, end);
     out.voc_v += g.voc_v;
     out.r_ohm += g.r_ohm;
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "teg/array.hpp"
@@ -43,6 +44,14 @@ class ArrayEvaluator {
 
   /// Port model of a configuration's series string of parallel groups.
   LinearSource string_equivalent(const ArrayConfig& config) const;
+
+  /// Same port model from raw group starts (first must be 0, strictly
+  /// increasing, all < size(); the last group runs to the end).  This is
+  /// the streaming hot path: EHTR scores candidates straight out of the
+  /// partition backtrack without materialising an ArrayConfig per
+  /// candidate.  Accumulation order matches the ArrayConfig overload
+  /// exactly, so the two are bit-identical.
+  LinearSource string_equivalent(std::span<const std::size_t> group_starts) const;
 
   /// Ideal-charger MPP power of a configuration (closed form).
   double mpp_power_w(const ArrayConfig& config) const {

@@ -80,7 +80,12 @@ void TemperatureTrace::save_csv(const std::string& path) const {
   table.header.push_back("time_s");
   table.header.push_back("ambient_c");
   for (std::size_t m = 0; m < num_modules_; ++m) {
-    table.header.push_back("t" + std::to_string(m));
+    // Built with += rather than operator+ to dodge a GCC 12 -Wrestrict
+    // false positive (PR 105329) that the extra inlining in this TU
+    // otherwise surfaces under -O3.
+    std::string name("t");
+    name += std::to_string(m);
+    table.header.push_back(std::move(name));
   }
   for (std::size_t t = 0; t < num_steps(); ++t) {
     std::vector<double> row;
@@ -94,15 +99,59 @@ void TemperatureTrace::save_csv(const std::string& path) const {
   util::write_csv(path, table);
 }
 
-TemperatureTrace TemperatureTrace::load_csv(const std::string& path) {
+TemperatureTrace TemperatureTrace::load_csv(const std::string& path,
+                                            double dt_s) {
   const util::CsvTable table = util::read_csv(path);
   if (table.header.size() < 3) {
     throw std::runtime_error("TemperatureTrace::load_csv: too few columns");
   }
   const std::size_t n = table.header.size() - 2;
-  double dt = 1.0;
-  if (table.rows.size() >= 2) dt = table.rows[1][0] - table.rows[0][0];
-  if (dt <= 0.0) throw std::runtime_error("TemperatureTrace::load_csv: bad time base");
+  if (table.rows.empty()) {
+    throw std::runtime_error("TemperatureTrace::load_csv: no data rows");
+  }
+  double dt = dt_s;
+  if (dt <= 0.0) {
+    // Deriving dt from the first two timestamps used to silently assume
+    // 1.0 s for single-row files — a wrong time base imported without a
+    // whisper.  Demand either two rows or an explicit dt.
+    if (table.rows.size() < 2) {
+      throw std::runtime_error(
+          "TemperatureTrace::load_csv: single-row file has no time base; "
+          "pass an explicit dt");
+    }
+    dt = table.rows[1][0] - table.rows[0][0];
+  }
+  if (!std::isfinite(dt) || dt <= 0.0) {
+    throw std::runtime_error("TemperatureTrace::load_csv: bad time base");
+  }
+  // Every timestamp must sit on the uniform grid t0 + i * dt: the whole
+  // library indexes steps by time / dt, so an irregular (or mismatched,
+  // when dt was passed explicitly) time column would silently stretch or
+  // compress the trace.  For self-written files the tolerance only has to
+  // absorb the writer's 12-significant-digit rounding; an explicit dt is
+  // the caller vouching for the grid, so real-world files with coarsely
+  // rounded timestamps (e.g. a 30 Hz log quantised to milliseconds) are
+  // accepted as long as each stamp stays nearest its own grid point
+  // (within half a step).
+  const double t0 = table.rows[0][0];
+  const double slack = dt_s > 0.0 ? 0.5 * dt : 0.0;
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const double expected = t0 + static_cast<double>(i) * dt;
+    const double tol =
+        std::max(slack, 1e-6 * std::max({1.0, dt, std::abs(expected)}));
+    if (!std::isfinite(table.rows[i][0]) ||
+        std::abs(table.rows[i][0] - expected) > tol) {
+      std::string message =
+          "TemperatureTrace::load_csv: irregular time base at row ";
+      message += std::to_string(i);
+      message += " (expected t = ";
+      message += std::to_string(expected);
+      message += ", got ";
+      message += std::to_string(table.rows[i][0]);
+      message += ")";
+      throw std::runtime_error(message);
+    }
+  }
   TemperatureTrace trace(dt, n);
   for (const auto& row : table.rows) {
     std::vector<double> temps(row.begin() + 2, row.end());
@@ -114,6 +163,16 @@ TemperatureTrace TemperatureTrace::load_csv(const std::string& path) {
 TemperatureTrace generate_trace(const TraceGeneratorConfig& config) {
   if (config.sample_dt_s < config.sim_dt_s) {
     throw std::invalid_argument("generate_trace: sample_dt must be >= sim_dt");
+  }
+  // The sampler walks the simulation grid with an integer stride; rounding
+  // a non-integral ratio would silently resample at a different rate than
+  // requested (e.g. 0.25 s asked, 0.2 s delivered from a 0.1 s sim step).
+  const double ratio = config.sample_dt_s / config.sim_dt_s;
+  const auto stride = static_cast<std::size_t>(std::llround(ratio));
+  if (stride < 1 ||
+      std::abs(ratio - static_cast<double>(stride)) > 1e-6 * ratio) {
+    throw std::invalid_argument(
+        "generate_trace: sample_dt must be an integer multiple of sim_dt");
   }
   const DriveCycle cycle = generate_drive_cycle(config.segments, config.vehicle,
                                                 config.sim_dt_s, config.seed);
@@ -128,8 +187,6 @@ TemperatureTrace generate_trace(const TraceGeneratorConfig& config) {
   const FluidProperties air_props = ambient_air();
 
   TemperatureTrace trace(config.sample_dt_s, config.layout.num_modules);
-  const auto stride = static_cast<std::size_t>(
-      std::llround(config.sample_dt_s / config.sim_dt_s));
   // Low-pass from the quasi-static solution: the fin/module stack cannot
   // follow airflow transients instantaneously.
   const double alpha =

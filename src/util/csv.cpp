@@ -1,10 +1,57 @@
 #include "util/csv.hpp"
 
+#include <cmath>
+#include <cstddef>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace tegrec::util {
+
+namespace {
+
+// Splits on ',' keeping empty cells — including a trailing one, which
+// std::getline silently drops ("1,2," must be three cells: the bench
+// writers emit empty cells for unmeasured values).  A trailing '\r' from
+// CRLF files is stripped first.
+std::vector<std::string> split_cells(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+// Empty cells read back as NaN (the in-memory marker csv_to_string writes
+// them from); anything else must parse as a complete double.
+double parse_cell(const std::string& cell) {
+  if (cell.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("CSV: non-numeric cell '" + cell + "'");
+  }
+  while (consumed < cell.size() &&
+         (cell[consumed] == ' ' || cell[consumed] == '\t')) {
+    ++consumed;
+  }
+  if (consumed != cell.size()) {
+    throw std::runtime_error("CSV: non-numeric cell '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
 
 std::size_t CsvTable::column_index(const std::string& name) const {
   for (std::size_t i = 0; i < header.size(); ++i) {
@@ -33,7 +80,16 @@ std::string csv_to_string(const CsvTable& table) {
   os.precision(12);
   for (const auto& row : table.rows) {
     for (std::size_t i = 0; i < row.size(); ++i) {
-      os << row[i] << (i + 1 < row.size() ? "," : "");
+      // NaN round-trips as an empty cell — the same convention the bench
+      // writers use for unmeasured values.  A single-column NaN row would
+      // serialise as a blank line, which the reader skips as a separator;
+      // spell it "nan" there so the row survives.
+      if (!std::isnan(row[i])) {
+        os << row[i];
+      } else if (row.size() == 1) {
+        os << "nan";
+      }
+      if (i + 1 < row.size()) os << ',';
     }
     os << '\n';
   }
@@ -46,22 +102,16 @@ CsvTable csv_from_string(const std::string& text) {
   std::string line;
   bool first = true;
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string cell;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> cells = split_cells(line);
     if (first) {
-      while (std::getline(ls, cell, ',')) table.header.push_back(cell);
+      table.header = cells;
       first = false;
       continue;
     }
     std::vector<double> row;
-    while (std::getline(ls, cell, ',')) {
-      try {
-        row.push_back(std::stod(cell));
-      } catch (const std::exception&) {
-        throw std::runtime_error("CSV: non-numeric cell '" + cell + "'");
-      }
-    }
+    row.reserve(cells.size());
+    for (const std::string& cell : cells) row.push_back(parse_cell(cell));
     if (row.size() != table.header.size()) {
       throw std::runtime_error("CSV: row width differs from header");
     }

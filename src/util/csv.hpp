@@ -2,7 +2,10 @@
 //
 // The format is deliberately simple: comma separated, first row is an
 // optional header, all payload cells are doubles.  Quoting is not needed
-// because the library never emits strings with commas.
+// because the library never emits strings with commas.  Empty cells
+// (including a trailing one on the line) denote unmeasured values and
+// round-trip as NaN — the convention the bench writers use for rows where
+// e.g. the legacy search was skipped.
 #pragma once
 
 #include <string>

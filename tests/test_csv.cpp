@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <gtest/gtest.h>
 
@@ -56,6 +57,90 @@ TEST(Csv, FileRoundTrip) {
 
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(read_csv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, EmptyCellsParseAsNaN) {
+  // Unmeasured values are written as empty cells; they must read back as
+  // NaN instead of tripping std::stod.
+  const CsvTable t = csv_from_string("a,b,c\n1,,3\n");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.rows[0][0], 1.0);
+  EXPECT_TRUE(std::isnan(t.rows[0][1]));
+  EXPECT_DOUBLE_EQ(t.rows[0][2], 3.0);
+}
+
+TEST(Csv, TrailingEmptyCellKept) {
+  // getline-based splitting used to drop a trailing empty cell, making
+  // "1,2," a two-cell row that failed the width check.
+  const CsvTable t = csv_from_string("a,b,c\n1,2,\n");
+  ASSERT_EQ(t.num_rows(), 1u);
+  ASSERT_EQ(t.rows[0].size(), 3u);
+  EXPECT_TRUE(std::isnan(t.rows[0][2]));
+}
+
+TEST(Csv, NanRoundTripsAsEmptyCell) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{std::nan(""), 2.0}, {3.0, std::nan("")}};
+  const std::string text = csv_to_string(t);
+  EXPECT_EQ(text, "x,y\n,2\n3,\n");
+  const CsvTable back = csv_from_string(text);
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_TRUE(std::isnan(back.rows[0][0]));
+  EXPECT_DOUBLE_EQ(back.rows[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(back.rows[1][0], 3.0);
+  EXPECT_TRUE(std::isnan(back.rows[1][1]));
+}
+
+TEST(Csv, RuntimeScalingBenchOutputRoundTrips) {
+  // The repo's own bench output: rows above the legacy cap leave the
+  // trailing legacy/speedup columns empty.  This exact shape used to
+  // throw "non-numeric cell" (empty -> stod) or "row width differs"
+  // (trailing empty cell dropped).
+  const std::string bench_csv =
+      "n,inor_s,dc_dp_s,new_search_s,new_peak_rss_mb,mat_search_s,"
+      "mat_peak_rss_mb,legacy_dp_s,legacy_search_s,speedup\n"
+      "64,0.000012,0.000210,0.000455,12.1,0.000601,12.5,"
+      "0.001800,0.002400,5.3\n"
+      "10000,0.001900,0.410000,4.800000,460.0,5.200000,880.0,,,\n";
+  const CsvTable t = csv_from_string(bench_csv);
+  ASSERT_EQ(t.num_rows(), 2u);
+  ASSERT_EQ(t.num_cols(), 10u);
+  EXPECT_DOUBLE_EQ(t.column("speedup")[0], 5.3);
+  EXPECT_TRUE(std::isnan(t.column("legacy_dp_s")[1]));
+  EXPECT_TRUE(std::isnan(t.column("speedup")[1]));
+  // And the in-memory table round-trips through its own serialisation.
+  const CsvTable back = csv_from_string(csv_to_string(t));
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_TRUE(std::isnan(back.rows[1][9]));
+  EXPECT_DOUBLE_EQ(back.rows[1][4], 460.0);
+}
+
+TEST(Csv, SingleColumnNanRowSurvivesRoundTrip) {
+  // An all-empty single-column row would serialise as a blank line, which
+  // the reader treats as a separator — so NaN is spelled out there.
+  CsvTable t;
+  t.header = {"x"};
+  t.rows = {{1.0}, {std::nan("")}, {2.0}};
+  const CsvTable back = csv_from_string(csv_to_string(t));
+  ASSERT_EQ(back.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(back.rows[0][0], 1.0);
+  EXPECT_TRUE(std::isnan(back.rows[1][0]));
+  EXPECT_DOUBLE_EQ(back.rows[2][0], 2.0);
+}
+
+TEST(Csv, CrlfLinesHandled) {
+  const CsvTable t = csv_from_string("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[1], "b");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(t.rows[0][1], 2.0);
+}
+
+TEST(Csv, PartiallyNumericCellThrows) {
+  // std::stod("1.5x") parses the prefix and drops the rest; the reader
+  // must reject the cell instead of silently truncating.
+  EXPECT_THROW(csv_from_string("a\n1.5x\n"), std::runtime_error);
 }
 
 TEST(Csv, PrecisionPreserved) {

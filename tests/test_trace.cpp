@@ -1,6 +1,7 @@
 #include "thermal/trace.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <gtest/gtest.h>
 
 namespace tegrec::thermal {
@@ -91,6 +92,104 @@ TEST(TemperatureTrace, CsvRoundTrip) {
     }
   }
   std::remove(path.c_str());
+}
+
+namespace {
+std::string write_temp_csv(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+}  // namespace
+
+TEST(TemperatureTraceLoadCsv, SingleRowWithoutDtThrows) {
+  // A single-row file has no time base; the old loader silently assumed
+  // dt = 1.0 and imported a wrong one.
+  const std::string path = write_temp_csv(
+      "tegrec_single_row.csv", "time_s,ambient_c,t0,t1\n0,25,50,40\n");
+  EXPECT_THROW(TemperatureTrace::load_csv(path), std::runtime_error);
+  // An explicit dt resolves it.
+  const TemperatureTrace trace = TemperatureTrace::load_csv(path, 0.25);
+  EXPECT_EQ(trace.num_steps(), 1u);
+  EXPECT_DOUBLE_EQ(trace.dt_s(), 0.25);
+  EXPECT_DOUBLE_EQ(trace.temperature_c(0, 1), 40.0);
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, EmptyFileThrows) {
+  const std::string path =
+      write_temp_csv("tegrec_empty_trace.csv", "time_s,ambient_c,t0\n");
+  EXPECT_THROW(TemperatureTrace::load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, IrregularTimeBaseThrows) {
+  // dt used to be derived from only the first two rows; a later jump in
+  // the time column silently stretched the trace.
+  const std::string path = write_temp_csv(
+      "tegrec_irregular.csv",
+      "time_s,ambient_c,t0\n0,25,50\n0.5,25,51\n2.0,25,52\n");
+  EXPECT_THROW(TemperatureTrace::load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, ExplicitDtMismatchThrows) {
+  // An explicit dt that contradicts the timestamps is an import error,
+  // not a silent rebase.
+  const std::string path = write_temp_csv(
+      "tegrec_dt_mismatch.csv",
+      "time_s,ambient_c,t0\n0,25,50\n0.5,25,51\n1.0,25,52\n");
+  EXPECT_THROW(TemperatureTrace::load_csv(path, 1.0), std::runtime_error);
+  const TemperatureTrace ok = TemperatureTrace::load_csv(path, 0.5);
+  EXPECT_EQ(ok.num_steps(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, ExplicitDtAcceptsRoundedTimestamps) {
+  // Real logs quantise their time column (here: a 30 Hz file rounded to
+  // milliseconds).  An explicit dt vouches for the grid, so stamps within
+  // half a step of it import; deriving dt from the rounded stamps would
+  // (rightly) fail the strict grid check.
+  const std::string path = write_temp_csv(
+      "tegrec_rounded_30hz.csv",
+      "time_s,ambient_c,t0\n0.000,25,50\n0.033,25,51\n0.067,25,52\n"
+      "0.100,25,53\n");
+  EXPECT_THROW(TemperatureTrace::load_csv(path), std::runtime_error);
+  const TemperatureTrace trace = TemperatureTrace::load_csv(path, 1.0 / 30.0);
+  EXPECT_EQ(trace.num_steps(), 4u);
+  EXPECT_DOUBLE_EQ(trace.dt_s(), 1.0 / 30.0);
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, NonZeroStartTimeAccepted) {
+  // Sliced/real traces may not start at t = 0; only the spacing matters.
+  const std::string path = write_temp_csv(
+      "tegrec_offset_start.csv",
+      "time_s,ambient_c,t0\n10.0,25,50\n10.5,25,51\n11.0,25,52\n");
+  const TemperatureTrace trace = TemperatureTrace::load_csv(path);
+  EXPECT_EQ(trace.num_steps(), 3u);
+  EXPECT_DOUBLE_EQ(trace.dt_s(), 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(GenerateTrace, NonIntegralSampleRatioThrows) {
+  // 0.25 s samples from a 0.1 s sim step would round to a stride of 2 or
+  // 3 — a silently different rate than requested.
+  TraceGeneratorConfig config;
+  config.sample_dt_s = 0.25;
+  config.sim_dt_s = 0.1;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+}
+
+TEST(GenerateTrace, IntegralSampleRatioAccepted) {
+  TraceGeneratorConfig config;
+  config.sample_dt_s = 0.2;
+  config.sim_dt_s = 0.1;
+  config.segments = {{DriveSegment::Kind::kCruise, 5.0, 60.0, 0.0}};
+  const TemperatureTrace trace = generate_trace(config);
+  EXPECT_GT(trace.num_steps(), 0u);
+  EXPECT_DOUBLE_EQ(trace.dt_s(), 0.2);
 }
 
 class GeneratedTraceTest : public ::testing::Test {

@@ -4,6 +4,7 @@
 //                         [--duration T]
 //   tegrec_cli simulate   --trace trace.csv
 //                         [--scheme dnor|inor|ehtr|baseline|all]
+//                         [--threads W] [--max-groups G]
 //   tegrec_cli predict    --trace trace.csv [--method mlr|bpnn|svr|holt]
 //                         [--horizon H]
 //   tegrec_cli montecarlo [--seeds K] [--first-seed S] [--modules N]
@@ -83,6 +84,10 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   const std::string scheme = flag_or(flags, "scheme", "all");
 
   sim::ComparisonOptions options;
+  options.sim.num_threads =
+      std::strtoul(flag_or(flags, "threads", "1").c_str(), nullptr, 10);
+  options.sim.ehtr_max_groups =
+      std::strtoul(flag_or(flags, "max-groups", "0").c_str(), nullptr, 10);
   if (scheme != "all") {
     options.include_dnor = scheme == "dnor";
     options.include_inor = scheme == "inor";
@@ -185,6 +190,7 @@ void usage() {
                "[--duration T]\n"
                "  tegrec_cli simulate [--trace F] [--scheme dnor|inor|ehtr|"
                "baseline|all]\n"
+               "                      [--threads W] [--max-groups G]\n"
                "  tegrec_cli predict  [--trace F] [--method mlr|bpnn|svr|holt] "
                "[--horizon H]\n"
                "  tegrec_cli montecarlo [--seeds K] [--first-seed S] "

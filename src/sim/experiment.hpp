@@ -18,7 +18,12 @@ struct ComparisonOptions {
   SimulationOptions sim;
   bool include_dnor = true;
   bool include_inor = true;
-  bool include_ehtr = true;   ///< O(N^3): disable for very large N
+  /// EHTR is subquadratic per invocation since the monotone-DP rewrite:
+  /// O(max_n * N log N) for the partition DP plus O(groups) per candidate
+  /// scored (candidates stream through the scorer, so memory is O(N)).
+  /// At farm scale, bound the DP parent arena with `sim.ehtr_max_groups`
+  /// and spread candidate scoring across `sim.num_threads`.
+  bool include_ehtr = true;
   bool include_baseline = true;
   double control_period_s = 0.5;  ///< INOR/EHTR cadence (paper: 0.5 s per [5])
 };
@@ -40,7 +45,23 @@ struct ComparisonResult {
 };
 
 /// Runs the standard four-scheme comparison on a trace.
+///
+/// Thin blocking wrapper over the shared ExperimentService (sim/service.hpp):
+/// the trace is content-hashed into an ExperimentSpec, submitted, and waited
+/// on, so repeated calls with an identical (trace, options) pair are served
+/// from the result cache instead of re-simulating.  Results are bit-identical
+/// to detail::run_comparison_direct for any service worker count.
 ComparisonResult run_standard_comparison(const thermal::TemperatureTrace& trace,
                                          const ComparisonOptions& options = {});
+
+namespace detail {
+
+/// The actual comparison engine, uncached and synchronous.  Service workers
+/// and the Monte-Carlo / sweep inner loops call this directly (an inner loop
+/// must never re-enter the service: its job already occupies a worker).
+ComparisonResult run_comparison_direct(const thermal::TemperatureTrace& trace,
+                                       const ComparisonOptions& options);
+
+}  // namespace detail
 
 }  // namespace tegrec::sim

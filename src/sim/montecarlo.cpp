@@ -2,11 +2,38 @@
 
 #include <stdexcept>
 
+#include "sim/service.hpp"
+#include "sim/spec.hpp"
 #include "util/parallel.hpp"
 
 namespace tegrec::sim {
 
 MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options) {
+  ExperimentSpec spec;
+  spec.kind = ExperimentKind::kMonteCarlo;
+  spec.trace.kind = TraceSource::Kind::kGenerated;
+  spec.trace.generator = options.base_trace;
+  spec.comparison = options.comparison;
+  spec.mc_num_seeds = options.num_seeds;
+  spec.mc_first_seed = options.first_seed;
+  spec.mc_num_threads = options.num_threads;
+  return ExperimentService::shared().submit(spec).wait()->monte_carlo;
+}
+
+namespace detail {
+
+void fold_monte_carlo_stats(MonteCarloSummary& summary) {
+  // Fold the running statistics serially in seed order: floating-point
+  // accumulation order is part of the bit-identical guarantee.
+  for (const MonteCarloSample& sample : summary.samples) {
+    summary.gain.add(sample.gain);
+    summary.dnor_energy_j.add(sample.dnor_energy_j);
+    summary.dnor_overhead_j.add(sample.dnor_overhead_j);
+    summary.dnor_switches.add(sample.dnor_switches);
+  }
+}
+
+MonteCarloSummary run_monte_carlo_direct(const MonteCarloOptions& options) {
   if (options.num_seeds == 0) {
     throw std::invalid_argument("run_monte_carlo: zero seeds");
   }
@@ -25,7 +52,7 @@ MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options) {
         config.seed = options.first_seed + k;
         const thermal::TemperatureTrace trace = thermal::generate_trace(config);
         const ComparisonResult res =
-            run_standard_comparison(trace, options.comparison);
+            run_comparison_direct(trace, options.comparison);
 
         MonteCarloSample& sample = summary.samples[k];
         sample.seed = config.seed;
@@ -37,15 +64,10 @@ MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options) {
             static_cast<double>(res.by_name("DNOR").num_switch_events);
       });
 
-  // Fold the running statistics serially in seed order: floating-point
-  // accumulation order is part of the bit-identical guarantee.
-  for (const MonteCarloSample& sample : summary.samples) {
-    summary.gain.add(sample.gain);
-    summary.dnor_energy_j.add(sample.dnor_energy_j);
-    summary.dnor_overhead_j.add(sample.dnor_overhead_j);
-    summary.dnor_switches.add(sample.dnor_switches);
-  }
+  fold_monte_carlo_stats(summary);
   return summary;
 }
+
+}  // namespace detail
 
 }  // namespace tegrec::sim

@@ -49,6 +49,24 @@ struct MonteCarloSummary {
 /// in parallel across `options.num_threads` workers (seeds are independent
 /// drives, so this is embarrassingly parallel and exactly reproducible).
 /// Requires DNOR and the baseline to be enabled in `comparison`.
+///
+/// Thin blocking wrapper over the shared ExperimentService: the options are
+/// packed into an ExperimentSpec and submitted, so an identical study (the
+/// base seed is immaterial and pinned; thread counts do not fragment the
+/// cache) is a lookup instead of a re-simulation.  Results are bit-identical
+/// to detail::run_monte_carlo_direct for any service worker count.
 MonteCarloSummary run_monte_carlo(const MonteCarloOptions& options);
+
+namespace detail {
+
+/// The actual Monte-Carlo engine, uncached and synchronous (service workers
+/// call this; per-seed inner comparisons use run_comparison_direct).
+MonteCarloSummary run_monte_carlo_direct(const MonteCarloOptions& options);
+
+/// Folds the summary statistics from `samples` in seed order — shared by
+/// the engine and the disk-cache loader so both produce identical stats.
+void fold_monte_carlo_stats(MonteCarloSummary& summary);
+
+}  // namespace detail
 
 }  // namespace tegrec::sim

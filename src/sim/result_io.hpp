@@ -1,0 +1,35 @@
+// Disk codec for cached experiment results.
+//
+// The ExperimentService's on-disk cache stores one artifact per spec
+// fingerprint: a line-structured text file embedding (1) the spec's
+// fingerprint text verbatim — decode_result() refuses to return a payload
+// whose embedded text differs from the expected spec, so a fingerprint
+// collision degrades to a cache miss, never a wrong result — and (2) the
+// result itself as sections of util::csv tables serialised at
+// kCsvExactPrecision, so every double round-trips bit-exactly and a
+// disk-cache hit is bit-identical to the execution that produced it.
+// Monte-Carlo summary statistics are not stored: they are refolded from
+// the samples on load through the same seed-order fold the engine uses.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/spec.hpp"
+
+namespace tegrec::sim {
+
+/// Serialises a result into the artifact text.  `fingerprint_text` is the
+/// spec's ExperimentSpec::fingerprint_text() — stored for the collision
+/// guard above.
+std::string encode_result(const ExperimentResult& result,
+                          const std::string& fingerprint_text);
+
+/// Parses an artifact.  Returns nullopt when the payload belongs to a
+/// different spec (collision / stale schema) or the text is malformed or
+/// truncated — every failure mode is a cache miss, never an exception, so
+/// a corrupt artifact can only cost a re-simulation.
+std::optional<ExperimentResult> decode_result(
+    const std::string& text, const std::string& expected_fingerprint_text);
+
+}  // namespace tegrec::sim

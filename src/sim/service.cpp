@@ -1,0 +1,433 @@
+#include "sim/service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/result_io.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/parallel.hpp"
+#include "util/parse.hpp"
+
+namespace tegrec::sim {
+
+namespace detail {
+
+// All mutable fields are guarded by `mutex`; everything above it is set
+// before the job is published (queued or handed out) and immutable after.
+// Lock order where both are held: service registry mutex, then job mutex.
+struct Job {
+  std::uint64_t id = 0;
+  ExperimentSpec spec;
+  ConfigMutator mutator;  ///< opaque sweep mutator (uncacheable jobs only)
+  bool has_mutator = false;
+  std::string fingerprint;
+  std::string fingerprint_text;
+  bool cacheable = true;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable done_cv;
+  JobStatus status = JobStatus::kQueued;
+  std::shared_ptr<const ExperimentResult> result;
+  std::exception_ptr error;
+  bool from_cache = false;
+};
+
+namespace {
+
+bool is_terminal(JobStatus status) {
+  return status == JobStatus::kDone || status == JobStatus::kFailed ||
+         status == JobStatus::kCancelled;
+}
+
+}  // namespace
+
+}  // namespace detail
+
+// ------------------------------------------------------------- JobHandle
+
+namespace {
+
+detail::Job& deref(const std::shared_ptr<detail::Job>& job) {
+  if (!job) throw std::logic_error("JobHandle: empty handle");
+  return *job;
+}
+
+}  // namespace
+
+JobStatus JobHandle::status() const {
+  detail::Job& job = deref(job_);
+  std::lock_guard<std::mutex> lock(job.mutex);
+  return job.status;
+}
+
+std::shared_ptr<const ExperimentResult> JobHandle::wait() const {
+  detail::Job& job = deref(job_);
+  std::unique_lock<std::mutex> lock(job.mutex);
+  job.done_cv.wait(lock, [&job] { return detail::is_terminal(job.status); });
+  if (job.status == JobStatus::kDone) return job.result;
+  if (job.status == JobStatus::kFailed) std::rethrow_exception(job.error);
+  throw std::runtime_error("ExperimentService: job " +
+                           std::to_string(job.id) + " was cancelled");
+}
+
+std::shared_ptr<const ExperimentResult> JobHandle::poll() const {
+  detail::Job& job = deref(job_);
+  std::lock_guard<std::mutex> lock(job.mutex);
+  return job.status == JobStatus::kDone ? job.result : nullptr;
+}
+
+bool JobHandle::cancel() const {
+  detail::Job& job = deref(job_);
+  std::lock_guard<std::mutex> lock(job.mutex);
+  if (job.status != JobStatus::kQueued) return false;
+  job.status = JobStatus::kCancelled;
+  job.done_cv.notify_all();
+  return true;
+}
+
+bool JobHandle::from_cache() const {
+  detail::Job& job = deref(job_);
+  std::lock_guard<std::mutex> lock(job.mutex);
+  return job.from_cache;
+}
+
+const std::string& JobHandle::fingerprint() const {
+  return deref(job_).fingerprint;
+}
+
+std::uint64_t JobHandle::id() const { return deref(job_).id; }
+
+// ------------------------------------------------------------------ State
+
+struct ExperimentService::State {
+  explicit State(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+  util::BoundedQueue<std::shared_ptr<detail::Job>> queue;
+  std::unique_ptr<util::ThreadPool> pool;
+
+  std::mutex registry_mutex;
+  /// Queued/running cacheable jobs by fingerprint — the coalescing table.
+  std::unordered_map<std::string, std::shared_ptr<detail::Job>> inflight;
+
+  struct CacheEntry {
+    std::list<std::string>::iterator lru_it;
+    std::string fingerprint_text;  ///< collision guard
+    std::shared_ptr<const ExperimentResult> result;
+  };
+  std::list<std::string> lru;  ///< fingerprints, most recently used first
+  std::unordered_map<std::string, CacheEntry> cache;
+
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::size_t> executions{0};
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> disk_hits{0};
+  std::atomic<std::size_t> coalesced{0};
+};
+
+namespace {
+
+// Registry lock must be held.
+void insert_cache_locked(ExperimentService::State& state, std::size_t capacity,
+                         const detail::Job& job,
+                         const std::shared_ptr<const ExperimentResult>& result);
+
+void erase_inflight(ExperimentService::State& state,
+                    const std::shared_ptr<detail::Job>& job) {
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  const auto it = state.inflight.find(job->fingerprint);
+  if (it != state.inflight.end() && it->second == job) state.inflight.erase(it);
+}
+
+void fail_job(ExperimentService::State& state,
+              const std::shared_ptr<detail::Job>& job, std::exception_ptr error) {
+  if (job->cacheable) erase_inflight(state, job);
+  std::lock_guard<std::mutex> lock(job->mutex);
+  if (job->status == JobStatus::kCancelled) return;  // cancel won the race
+  job->error = std::move(error);
+  job->status = JobStatus::kFailed;
+  job->done_cv.notify_all();
+}
+
+std::string disk_path(const ServiceOptions& options, const std::string& fp) {
+  return options.cache_dir + "/" + fp + ".csv";
+}
+
+std::shared_ptr<const ExperimentResult> load_disk(const ServiceOptions& options,
+                                                  const detail::Job& job) {
+  std::ifstream f(disk_path(options, job.fingerprint));
+  if (!f) return nullptr;
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  auto decoded = decode_result(buffer.str(), job.fingerprint_text);
+  if (!decoded) return nullptr;  // collision / corruption: plain miss
+  return std::make_shared<const ExperimentResult>(std::move(*decoded));
+}
+
+void store_disk(const ServiceOptions& options, const detail::Job& job,
+                const ExperimentResult& result) {
+  const std::string path = disk_path(options, job.fingerprint);
+  // Write-then-rename keeps concurrent readers (other processes sharing
+  // the directory) off half-written artifacts; the id suffix keeps two
+  // writers of the same fingerprint off each other's temp file.
+  const std::string tmp = path + ".tmp" + std::to_string(job.id);
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    f << encode_result(result, job.fingerprint_text);
+    if (!f) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;  // the disk cache is best-effort
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+void insert_cache_locked(ExperimentService::State& state, std::size_t capacity,
+                         const detail::Job& job,
+                         const std::shared_ptr<const ExperimentResult>& result) {
+  if (capacity == 0) return;
+  const auto it = state.cache.find(job.fingerprint);
+  if (it != state.cache.end()) {
+    state.lru.splice(state.lru.begin(), state.lru, it->second.lru_it);
+    it->second.fingerprint_text = job.fingerprint_text;
+    it->second.result = result;
+    return;
+  }
+  state.lru.push_front(job.fingerprint);
+  state.cache.emplace(job.fingerprint,
+                      ExperimentService::State::CacheEntry{
+                          state.lru.begin(), job.fingerprint_text, result});
+  while (state.cache.size() > capacity) {
+    state.cache.erase(state.lru.back());
+    state.lru.pop_back();
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------ ExperimentService
+
+ExperimentService::ExperimentService(ServiceOptions options)
+    : options_(std::move(options)),
+      state_(std::make_unique<State>(options_.queue_capacity)) {
+  if (!options_.cache_dir.empty()) {
+    std::filesystem::create_directories(options_.cache_dir);
+  }
+  const std::size_t workers = options_.num_workers == 0
+                                  ? util::default_parallelism()
+                                  : options_.num_workers;
+  state_->pool = std::make_unique<util::ThreadPool>(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    // Each worker runs one drain loop for the service's whole lifetime;
+    // pop() returns nullopt after close()+drain() in the destructor.
+    state_->pool->submit([this] {
+      while (auto job = state_->queue.pop()) run_job(*job);
+    });
+  }
+}
+
+ExperimentService::~ExperimentService() {
+  state_->queue.close();
+  for (const auto& job : state_->queue.drain()) {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->status == JobStatus::kQueued) {
+      job->status = JobStatus::kCancelled;
+      job->done_cv.notify_all();
+    }
+  }
+  state_->pool.reset();  // joins workers; running jobs finish first
+}
+
+JobHandle ExperimentService::submit(const ExperimentSpec& spec) {
+  return submit_impl(spec, nullptr);
+}
+
+JobHandle ExperimentService::submit(const ExperimentSpec& spec,
+                                    ConfigMutator mutator) {
+  return submit_impl(spec, &mutator);
+}
+
+JobHandle ExperimentService::submit_impl(const ExperimentSpec& spec,
+                                         const ConfigMutator* mutator) {
+  auto job = std::make_shared<detail::Job>();
+  job->id = state_->next_id.fetch_add(1, std::memory_order_relaxed);
+  job->spec = spec;
+  if (mutator) {
+    job->mutator = *mutator;
+    job->has_mutator = true;
+    job->cacheable = false;
+    job->fingerprint = "uncached-" + std::to_string(job->id);
+  } else {
+    if (job->spec.trace.kind == TraceSource::Kind::kCsvFile) {
+      // Materialise CSV sources before fingerprinting (throws here, on the
+      // submitter, if the file is unreadable).  Hashing the path's bytes
+      // and re-reading the file at execution time would let an edit in
+      // between store a result under the other content's fingerprint —
+      // the one way a wrong result could enter the cache.  The in-memory
+      // trace is both the content address and what executes.
+      job->spec.trace.inline_trace = materialize_trace(job->spec.trace);
+      job->spec.trace.kind = TraceSource::Kind::kInline;
+      job->spec.trace.csv_path.clear();
+    }
+    job->fingerprint_text = job->spec.fingerprint_text();
+    job->fingerprint = ExperimentSpec::fingerprint_of_text(job->fingerprint_text);
+  }
+
+  if (job->cacheable) {
+    {
+      std::lock_guard<std::mutex> lock(state_->registry_mutex);
+      const auto hit = state_->cache.find(job->fingerprint);
+      if (hit != state_->cache.end() &&
+          hit->second.fingerprint_text == job->fingerprint_text) {
+        state_->lru.splice(state_->lru.begin(), state_->lru,
+                           hit->second.lru_it);
+        state_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> job_lock(job->mutex);
+        job->result = hit->second.result;
+        job->from_cache = true;
+        job->status = JobStatus::kDone;
+        return JobHandle(job);
+      }
+      const auto in_it = state_->inflight.find(job->fingerprint);
+      if (in_it != state_->inflight.end()) {
+        const std::shared_ptr<detail::Job> existing = in_it->second;
+        // Same text check as the cache paths: attaching on the hash alone
+        // would let a fingerprint collision hand this submitter the other
+        // spec's result.  A collider (or a cancelled job still parked in
+        // the queue) must not swallow new submissions; claim the slot.
+        std::unique_lock<std::mutex> existing_lock(existing->mutex);
+        if (existing->status != JobStatus::kCancelled &&
+            existing->fingerprint_text == job->fingerprint_text) {
+          state_->coalesced.fetch_add(1, std::memory_order_relaxed);
+          return JobHandle(existing);
+        }
+        existing_lock.unlock();
+        in_it->second = job;
+      } else {
+        state_->inflight.emplace(job->fingerprint, job);
+      }
+    }
+    // Disk probe outside the registry lock (file IO must not stall other
+    // submitters); the fingerprint is already claimed in `inflight`, so
+    // concurrent duplicates coalesce onto this job while we read.
+    if (!options_.cache_dir.empty()) {
+      if (auto result = load_disk(options_, *job)) {
+        state_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        state_->disk_hits.fetch_add(1, std::memory_order_relaxed);
+        complete_job(job, std::move(result), /*from_cache=*/true);
+        return JobHandle(job);
+      }
+    }
+  }
+
+  if (!state_->queue.push(job)) {
+    fail_job(*state_, job,
+             std::make_exception_ptr(std::runtime_error(
+                 "ExperimentService: submit after shutdown")));
+  }
+  return JobHandle(job);
+}
+
+void ExperimentService::run_job(const std::shared_ptr<detail::Job>& job) {
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->status != JobStatus::kQueued) {
+      cancelled = true;  // cancelled while queued: it must never execute
+    } else {
+      job->status = JobStatus::kRunning;
+    }
+  }
+  if (cancelled) {
+    // Drop its coalescing claim so an identical future submit re-runs.
+    if (job->cacheable) erase_inflight(*state_, job);
+    return;
+  }
+
+  state_->executions.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const ExperimentResult> result;
+  try {
+    result = std::make_shared<const ExperimentResult>(
+        detail::run_experiment_impl(job->spec,
+                                    job->has_mutator ? &job->mutator : nullptr));
+  } catch (...) {
+    fail_job(*state_, job, std::current_exception());
+    return;
+  }
+  if (job->cacheable && !options_.cache_dir.empty()) {
+    store_disk(options_, *job, *result);
+  }
+  complete_job(job, std::move(result), /*from_cache=*/false);
+}
+
+void ExperimentService::complete_job(
+    const std::shared_ptr<detail::Job>& job,
+    std::shared_ptr<const ExperimentResult> result, bool from_cache) {
+  if (job->cacheable) {
+    std::lock_guard<std::mutex> lock(state_->registry_mutex);
+    insert_cache_locked(*state_, options_.memory_cache_entries, *job, result);
+    const auto it = state_->inflight.find(job->fingerprint);
+    if (it != state_->inflight.end() && it->second == job) {
+      state_->inflight.erase(it);
+    }
+  }
+  std::lock_guard<std::mutex> lock(job->mutex);
+  // A coalesced holder may have cancelled the job while the disk probe ran
+  // (the only completion path reachable from kQueued); its waiters were
+  // already told "cancelled", so the status must not flip to done under
+  // them.  The result stays cached above for future submissions.
+  if (job->status == JobStatus::kCancelled) return;
+  job->result = std::move(result);
+  job->from_cache = from_cache;
+  job->status = JobStatus::kDone;
+  job->done_cv.notify_all();
+}
+
+std::size_t ExperimentService::executions() const {
+  return state_->executions.load(std::memory_order_relaxed);
+}
+std::size_t ExperimentService::cache_hits() const {
+  return state_->cache_hits.load(std::memory_order_relaxed);
+}
+std::size_t ExperimentService::disk_hits() const {
+  return state_->disk_hits.load(std::memory_order_relaxed);
+}
+std::size_t ExperimentService::coalesced() const {
+  return state_->coalesced.load(std::memory_order_relaxed);
+}
+
+ExperimentService& ExperimentService::shared() {
+  static ExperimentService service([] {
+    ServiceOptions options;
+    if (const char* dir = std::getenv("TEGREC_CACHE_DIR")) {
+      options.cache_dir = dir;
+    }
+    // Cached comparison results keep their per-step records, so a long-
+    // running process iterating distinct configs retains up to this many
+    // full results; TEGREC_CACHE_ENTRIES trims (or 0 disables) the LRU
+    // when that footprint matters more than hit rate.
+    if (const char* entries = std::getenv("TEGREC_CACHE_ENTRIES")) {
+      try {
+        options.memory_cache_entries =
+            static_cast<std::size_t>(util::parse_u64(entries));
+      } catch (const std::exception&) {
+        // an unparseable override keeps the default
+      }
+    }
+    return options;
+  }());
+  return service;
+}
+
+}  // namespace tegrec::sim

@@ -35,14 +35,39 @@ using ConfigMutator =
 /// (0 = one per hardware thread, 1 = serial); each point writes only its
 /// own output slot, so the result is bit-identical for any thread count.
 /// The mutator may be called concurrently and must not touch shared state.
+///
+/// Thin blocking wrapper over the shared ExperimentService.  An opaque
+/// mutator has no content address, so these jobs queue but are never cached
+/// or coalesced; use a registered parameter name (sweep_mutator / an
+/// ExperimentSpec with sweep.parameter) to get caching.
 std::vector<SweepPoint> sweep_parameter(
     const thermal::TraceGeneratorConfig& base, const std::vector<double>& values,
     const ConfigMutator& mutate, const ComparisonOptions& comparison = {},
     std::size_t num_threads = 0);
 
+/// Looks up a registered, content-addressable sweep parameter by name — the
+/// vocabulary ExperimentSpec sweep files use (`sweep.parameter = <name>`).
+/// Throws std::invalid_argument for unknown names, listing what exists.
+ConfigMutator sweep_mutator(const std::string& name);
+
+/// Names accepted by sweep_mutator, sorted.
+std::vector<std::string> sweep_parameter_names();
+
 /// Packs sweep points into a CSV table (columns: value, dnor_j, baseline_j,
 /// gain_percent, dnor_ratio).  `value_name` becomes the first header.
 util::CsvTable sweep_to_csv(const std::string& value_name,
                             const std::vector<SweepPoint>& points);
+
+namespace detail {
+
+/// The actual sweep engine, uncached and synchronous (service workers call
+/// this; per-point comparisons use run_comparison_direct).
+std::vector<SweepPoint> sweep_direct(const thermal::TraceGeneratorConfig& base,
+                                     const std::vector<double>& values,
+                                     const ConfigMutator& mutate,
+                                     const ComparisonOptions& comparison,
+                                     std::size_t num_threads);
+
+}  // namespace detail
 
 }  // namespace tegrec::sim

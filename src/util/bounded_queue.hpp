@@ -1,0 +1,100 @@
+// Blocking bounded MPMC queue — the experiment service's job channel.
+//
+// push() applies backpressure (blocks while the queue is at capacity)
+// so a flood of submissions cannot grow memory without bound; pop()
+// blocks while empty.  close() stops producers, wakes every blocked
+// call, and lets consumers drain what remains before pop() starts
+// returning nullopt — the shutdown handshake the service destructor
+// relies on.  drain() hands back whatever is still queued at close time
+// so the owner can mark those jobs cancelled instead of leaving their
+// waiters blocked forever.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace tegrec::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity is clamped to at least one slot.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (dropping the item)
+  /// if the queue is closed before space frees up.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty; returns nullopt once the queue is
+  /// closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return item;
+  }
+
+  /// Stops producers and wakes every blocked push/pop.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Removes and returns everything currently queued without blocking.
+  std::vector<T> drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    lock.unlock();
+    space_.notify_all();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tegrec::util

@@ -71,13 +71,13 @@ std::vector<double> CsvTable::column(const std::string& name) const {
   return out;
 }
 
-std::string csv_to_string(const CsvTable& table) {
+std::string csv_to_string(const CsvTable& table, int precision) {
   std::ostringstream os;
   for (std::size_t i = 0; i < table.header.size(); ++i) {
     os << table.header[i] << (i + 1 < table.header.size() ? "," : "");
   }
   os << '\n';
-  os.precision(12);
+  os.precision(precision);
   for (const auto& row : table.rows) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       // NaN round-trips as an empty cell — the same convention the bench
@@ -120,10 +120,10 @@ CsvTable csv_from_string(const std::string& text) {
   return table;
 }
 
-void write_csv(const std::string& path, const CsvTable& table) {
+void write_csv(const std::string& path, const CsvTable& table, int precision) {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("write_csv: cannot open " + path);
-  f << csv_to_string(table);
+  f << csv_to_string(table, precision);
   if (!f) throw std::runtime_error("write_csv: write failed for " + path);
 }
 

@@ -27,15 +27,23 @@ struct CsvTable {
   std::vector<double> column(const std::string& name) const;
 };
 
+/// Significant digits for cell serialisation.  The default keeps bench
+/// output readable; kCsvExactPrecision (max_digits10) round-trips every
+/// double bit-exactly — the experiment result cache depends on it.
+inline constexpr int kCsvDefaultPrecision = 12;
+inline constexpr int kCsvExactPrecision = 17;
+
 /// Serialises the table; throws std::runtime_error on IO failure.
-void write_csv(const std::string& path, const CsvTable& table);
+void write_csv(const std::string& path, const CsvTable& table,
+               int precision = kCsvDefaultPrecision);
 
 /// Parses a CSV file written by write_csv (or hand-authored in the same
 /// dialect).  Throws std::runtime_error on IO failure or malformed rows.
 CsvTable read_csv(const std::string& path);
 
 /// Serialise into a string (used by tests to avoid touching the disk).
-std::string csv_to_string(const CsvTable& table);
+std::string csv_to_string(const CsvTable& table,
+                          int precision = kCsvDefaultPrecision);
 CsvTable csv_from_string(const std::string& text);
 
 }  // namespace tegrec::util

@@ -1,0 +1,28 @@
+// Checked numeric parsing shared by the CLI and the spec reader.
+//
+// strtoul/strtod silently accept garbage ("abc" -> 0, "10x" -> 10); these
+// helpers require the whole token to parse (surrounding whitespace is
+// tolerated, trailing junk is not) and throw std::invalid_argument with
+// the offending text otherwise, so a typo in a flag or a spec file fails
+// loudly instead of running the wrong study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tegrec::util {
+
+/// Parses a finite double; rejects empty/partial tokens ("", "10x",
+/// "1.2.3") and non-finite values ("nan", "inf").
+double parse_double(const std::string& text);
+
+/// Parses a non-negative integer; rejects signs, junk and overflow.
+std::uint64_t parse_u64(const std::string& text);
+
+/// Parses a signed integer; rejects junk and overflow.
+std::int64_t parse_i64(const std::string& text);
+
+/// Accepts 0/1/true/false (the spec-file boolean dialect).
+bool parse_bool(const std::string& text);
+
+}  // namespace tegrec::util

@@ -101,11 +101,17 @@ sim::MonteCarloOptions tiny_mc_options() {
 }
 
 TEST(ParallelDeterminism, MonteCarloBitIdenticalAcrossThreadCounts) {
+  // The direct engine on purpose: the public run_monte_carlo wrapper now
+  // serves the second call from the ExperimentService result cache (thread
+  // counts share one fingerprint), which would turn this determinism check
+  // into comparing a result with itself.
   sim::MonteCarloOptions options = tiny_mc_options();
   options.num_threads = 1;
-  const sim::MonteCarloSummary serial = sim::run_monte_carlo(options);
+  const sim::MonteCarloSummary serial =
+      sim::detail::run_monte_carlo_direct(options);
   options.num_threads = 4;
-  const sim::MonteCarloSummary parallel = sim::run_monte_carlo(options);
+  const sim::MonteCarloSummary parallel =
+      sim::detail::run_monte_carlo_direct(options);
 
   ASSERT_EQ(serial.samples.size(), parallel.samples.size());
   for (std::size_t k = 0; k < serial.samples.size(); ++k) {

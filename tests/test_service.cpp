@@ -1,0 +1,587 @@
+// ExperimentSpec + ExperimentService: determinism, caching, coalescing,
+// cancellation, fingerprint stability.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/result_io.hpp"
+#include "sim/service.hpp"
+#include "sim/spec.hpp"
+#include "sim/sweep.hpp"
+#include "util/parallel.hpp"
+
+namespace tegrec::sim {
+namespace {
+
+thermal::TraceGeneratorConfig tiny_config() {
+  thermal::TraceGeneratorConfig config;
+  // 24 modules: small enough for speed, large enough that the square-grid
+  // baseline's string voltage clears the converter's input floor.
+  config.layout.num_modules = 24;
+  config.segments = {{thermal::DriveSegment::Kind::kUrban, 25.0, 30.0, 0.0}};
+  return config;
+}
+
+ComparisonOptions fast_comparison() {
+  ComparisonOptions options;
+  options.include_inor = false;
+  options.include_ehtr = false;
+  return options;
+}
+
+ExperimentSpec comparison_spec(std::uint64_t seed = 3) {
+  ExperimentSpec spec;
+  spec.kind = ExperimentKind::kComparison;
+  spec.trace.kind = TraceSource::Kind::kGenerated;
+  spec.trace.generator = tiny_config();
+  spec.trace.generator.seed = seed;
+  spec.comparison = fast_comparison();
+  return spec;
+}
+
+ExperimentSpec montecarlo_spec(std::size_t num_seeds = 3) {
+  ExperimentSpec spec = comparison_spec();
+  spec.kind = ExperimentKind::kMonteCarlo;
+  spec.mc_num_seeds = num_seeds;
+  spec.mc_first_seed = 10;
+  return spec;
+}
+
+ExperimentSpec sweep_spec() {
+  ExperimentSpec spec = comparison_spec();
+  spec.kind = ExperimentKind::kSweep;
+  spec.sweep_parameter_name = "surface_coupling";
+  spec.sweep_values = {0.6, 0.75, 0.9};
+  return spec;
+}
+
+// Deterministic-field equality.  `include_timing` additionally compares the
+// measured wall-clock fields — valid only when both sides come from the
+// same execution (cache hits, disk round-trips), never across re-runs.
+void expect_runs_equal(const SimulationResult& a, const SimulationResult& b,
+                       bool include_timing) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.energy_output_j, b.energy_output_j);
+  EXPECT_EQ(a.switch_overhead_j, b.switch_overhead_j);
+  EXPECT_EQ(a.ideal_energy_j, b.ideal_energy_j);
+  EXPECT_EQ(a.num_invocations, b.num_invocations);
+  EXPECT_EQ(a.num_switch_events, b.num_switch_events);
+  EXPECT_EQ(a.total_switch_actuations, b.total_switch_actuations);
+  EXPECT_EQ(a.battery_energy_j, b.battery_energy_j);
+  EXPECT_EQ(a.final_soc, b.final_soc);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].time_s, b.steps[i].time_s);
+    EXPECT_EQ(a.steps[i].gross_power_w, b.steps[i].gross_power_w);
+    EXPECT_EQ(a.steps[i].net_power_w, b.steps[i].net_power_w);
+    EXPECT_EQ(a.steps[i].ideal_power_w, b.steps[i].ideal_power_w);
+    EXPECT_EQ(a.steps[i].invoked, b.steps[i].invoked);
+    EXPECT_EQ(a.steps[i].switched, b.steps[i].switched);
+    EXPECT_EQ(a.steps[i].switch_actuations, b.steps[i].switch_actuations);
+    EXPECT_EQ(a.steps[i].overhead_energy_j, b.steps[i].overhead_energy_j);
+    if (include_timing) {
+      EXPECT_EQ(a.steps[i].compute_time_s, b.steps[i].compute_time_s);
+    }
+  }
+  if (include_timing) {
+    EXPECT_EQ(a.avg_runtime_ms, b.avg_runtime_ms);
+    EXPECT_EQ(a.runtime_per_invocation_ms, b.runtime_per_invocation_ms);
+  }
+}
+
+void expect_results_equal(const ExperimentResult& a, const ExperimentResult& b,
+                          bool include_timing) {
+  ASSERT_EQ(a.kind, b.kind);
+  switch (a.kind) {
+    case ExperimentKind::kComparison: {
+      ASSERT_EQ(a.comparison.runs.size(), b.comparison.runs.size());
+      for (std::size_t i = 0; i < a.comparison.runs.size(); ++i) {
+        expect_runs_equal(a.comparison.runs[i], b.comparison.runs[i],
+                          include_timing);
+      }
+      break;
+    }
+    case ExperimentKind::kMonteCarlo: {
+      ASSERT_EQ(a.monte_carlo.samples.size(), b.monte_carlo.samples.size());
+      for (std::size_t i = 0; i < a.monte_carlo.samples.size(); ++i) {
+        EXPECT_EQ(a.monte_carlo.samples[i].seed, b.monte_carlo.samples[i].seed);
+        EXPECT_EQ(a.monte_carlo.samples[i].gain, b.monte_carlo.samples[i].gain);
+        EXPECT_EQ(a.monte_carlo.samples[i].dnor_energy_j,
+                  b.monte_carlo.samples[i].dnor_energy_j);
+        EXPECT_EQ(a.monte_carlo.samples[i].baseline_energy_j,
+                  b.monte_carlo.samples[i].baseline_energy_j);
+        EXPECT_EQ(a.monte_carlo.samples[i].dnor_overhead_j,
+                  b.monte_carlo.samples[i].dnor_overhead_j);
+        EXPECT_EQ(a.monte_carlo.samples[i].dnor_switches,
+                  b.monte_carlo.samples[i].dnor_switches);
+      }
+      EXPECT_EQ(a.monte_carlo.gain.mean(), b.monte_carlo.gain.mean());
+      EXPECT_EQ(a.monte_carlo.gain.stddev(), b.monte_carlo.gain.stddev());
+      EXPECT_EQ(a.monte_carlo.dnor_energy_j.max(),
+                b.monte_carlo.dnor_energy_j.max());
+      break;
+    }
+    case ExperimentKind::kSweep: {
+      ASSERT_EQ(a.sweep.size(), b.sweep.size());
+      for (std::size_t i = 0; i < a.sweep.size(); ++i) {
+        EXPECT_EQ(a.sweep[i].value, b.sweep[i].value);
+        EXPECT_EQ(a.sweep[i].dnor_energy_j, b.sweep[i].dnor_energy_j);
+        EXPECT_EQ(a.sweep[i].baseline_energy_j, b.sweep[i].baseline_energy_j);
+        EXPECT_EQ(a.sweep[i].gain, b.sweep[i].gain);
+        EXPECT_EQ(a.sweep[i].dnor_ratio_to_ideal,
+                  b.sweep[i].dnor_ratio_to_ideal);
+      }
+      break;
+    }
+  }
+}
+
+/// A self-cleaning unique temp directory for the disk-cache tests.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("tegrec_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------- determinism / identity
+
+TEST(Service, ResultsMatchDirectAcrossWorkerCounts) {
+  const std::vector<ExperimentSpec> specs = {comparison_spec(),
+                                             montecarlo_spec(), sweep_spec()};
+  for (const ExperimentSpec& spec : specs) {
+    const ExperimentResult direct = run_experiment(spec);
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{4}, util::default_parallelism()}) {
+      ServiceOptions options;
+      options.num_workers = workers;
+      ExperimentService service(options);
+      const auto result = service.submit(spec).wait();
+      ASSERT_TRUE(result);
+      expect_results_equal(direct, *result, /*include_timing=*/false);
+    }
+  }
+}
+
+TEST(Service, BlockingWrappersMatchDirectEngines) {
+  // The public blocking API routes through the shared service; its results
+  // must be bit-identical to the direct engines it used to call.
+  const thermal::TemperatureTrace trace =
+      thermal::generate_trace(tiny_config());
+  ComparisonResult direct = detail::run_comparison_direct(trace,
+                                                          fast_comparison());
+  ComparisonResult wrapped = run_standard_comparison(trace, fast_comparison());
+  ASSERT_EQ(direct.runs.size(), wrapped.runs.size());
+  for (std::size_t i = 0; i < direct.runs.size(); ++i) {
+    expect_runs_equal(direct.runs[i], wrapped.runs[i],
+                      /*include_timing=*/false);
+  }
+
+  MonteCarloOptions mc;
+  mc.base_trace = tiny_config();
+  mc.comparison = fast_comparison();
+  mc.num_seeds = 2;
+  const MonteCarloSummary direct_mc = detail::run_monte_carlo_direct(mc);
+  const MonteCarloSummary wrapped_mc = run_monte_carlo(mc);
+  ASSERT_EQ(direct_mc.samples.size(), wrapped_mc.samples.size());
+  for (std::size_t i = 0; i < direct_mc.samples.size(); ++i) {
+    EXPECT_EQ(direct_mc.samples[i].gain, wrapped_mc.samples[i].gain);
+    EXPECT_EQ(direct_mc.samples[i].dnor_energy_j,
+              wrapped_mc.samples[i].dnor_energy_j);
+  }
+
+  const auto mutate = [](thermal::TraceGeneratorConfig& config, double value) {
+    config.layout.surface_coupling = value;
+  };
+  const auto direct_sweep = detail::sweep_direct(
+      tiny_config(), {0.6, 0.8}, mutate, fast_comparison(), /*num_threads=*/1);
+  const auto wrapped_sweep =
+      sweep_parameter(tiny_config(), {0.6, 0.8}, mutate, fast_comparison());
+  ASSERT_EQ(direct_sweep.size(), wrapped_sweep.size());
+  for (std::size_t i = 0; i < direct_sweep.size(); ++i) {
+    EXPECT_EQ(direct_sweep[i].gain, wrapped_sweep[i].gain);
+    EXPECT_EQ(direct_sweep[i].dnor_energy_j, wrapped_sweep[i].dnor_energy_j);
+  }
+}
+
+TEST(Service, WrapperValidationErrorsPropagate) {
+  // The blocking wrappers must keep throwing the direct API's exceptions.
+  MonteCarloOptions mc;
+  mc.base_trace = tiny_config();
+  mc.num_seeds = 0;
+  EXPECT_THROW(run_monte_carlo(mc), std::invalid_argument);
+  EXPECT_THROW(sweep_parameter(tiny_config(), {1.0}, nullptr),
+               std::invalid_argument);
+  ComparisonOptions none = fast_comparison();
+  none.include_dnor = false;
+  none.include_baseline = false;
+  const thermal::TemperatureTrace trace =
+      thermal::generate_trace(tiny_config());
+  EXPECT_THROW(run_standard_comparison(trace, none), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- caching
+
+TEST(Service, CacheHitSkipsExecution) {
+  ExperimentService service((ServiceOptions()));
+  const ExperimentSpec spec = comparison_spec();
+  const JobHandle first = service.submit(spec);
+  const auto first_result = first.wait();
+  EXPECT_EQ(service.executions(), 1u);
+  EXPECT_FALSE(first.from_cache());
+
+  ExperimentSpec again = spec;
+  again.comparison.sim.num_threads = 4;  // execution hint: same cache entry
+  const JobHandle second = service.submit(again);
+  const auto second_result = second.wait();
+  EXPECT_EQ(service.executions(), 1u) << "cache hit must not re-simulate";
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_TRUE(second.from_cache());
+  // Same stored object, so trivially bit-identical — including timing.
+  EXPECT_EQ(first_result.get(), second_result.get());
+}
+
+TEST(Service, DiskCacheRoundTripsBitIdentical) {
+  TempDir dir("diskcache");
+  ServiceOptions options;
+  options.cache_dir = dir.path();
+  const ExperimentSpec spec = montecarlo_spec();
+
+  std::shared_ptr<const ExperimentResult> produced;
+  {
+    ExperimentService service(options);
+    produced = service.submit(spec).wait();
+    EXPECT_EQ(service.executions(), 1u);
+    EXPECT_EQ(service.disk_hits(), 0u);
+  }
+  // A fresh service (fresh memory cache) must load the artifact instead of
+  // re-simulating, and the decoded result must be bit-identical — the
+  // wall-clock fields included, because doubles round-trip exactly at
+  // kCsvExactPrecision.
+  ExperimentService service(options);
+  const JobHandle job = service.submit(spec);
+  const auto loaded = job.wait();
+  EXPECT_EQ(service.executions(), 0u);
+  EXPECT_EQ(service.disk_hits(), 1u);
+  EXPECT_TRUE(job.from_cache());
+  expect_results_equal(*produced, *loaded, /*include_timing=*/true);
+}
+
+TEST(Service, DiskArtifactRoundTripsEveryKind) {
+  for (const ExperimentSpec& spec :
+       {comparison_spec(), montecarlo_spec(), sweep_spec()}) {
+    const ExperimentResult direct = run_experiment(spec);
+    const std::string text = encode_result(direct, spec.fingerprint_text());
+    const auto decoded = decode_result(text, spec.fingerprint_text());
+    ASSERT_TRUE(decoded.has_value());
+    expect_results_equal(direct, *decoded, /*include_timing=*/true);
+    // A payload for a different spec is a miss, never a wrong result.
+    EXPECT_FALSE(
+        decode_result(text, comparison_spec(99).fingerprint_text()).has_value());
+    // Truncation is a miss, not an exception.
+    EXPECT_FALSE(
+        decode_result(text.substr(0, text.size() / 2), spec.fingerprint_text())
+            .has_value());
+  }
+}
+
+TEST(Service, CorruptDiskArtifactFallsBackToExecution) {
+  TempDir dir("corrupt");
+  ServiceOptions options;
+  options.cache_dir = dir.path();
+  const ExperimentSpec spec = comparison_spec();
+  {
+    ExperimentService service(options);
+    service.submit(spec).wait();
+  }
+  // Truncate the artifact in place.
+  const std::string path = dir.path() + "/" + spec.fingerprint() + ".csv";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::filesystem::resize_file(path, 64);
+
+  ExperimentService service(options);
+  const auto result = service.submit(spec).wait();
+  EXPECT_EQ(service.executions(), 1u) << "corrupt artifact must re-simulate";
+  EXPECT_EQ(service.disk_hits(), 0u);
+  ASSERT_TRUE(result);
+}
+
+TEST(Service, CsvSourcesAreContentAddressedAtSubmitTime) {
+  TempDir dir("csvsrc");
+  std::filesystem::create_directories(dir.path());
+  const std::string csv = dir.path() + "/trace.csv";
+  thermal::generate_trace(tiny_config()).save_csv(csv);
+
+  ExperimentSpec spec;
+  spec.kind = ExperimentKind::kComparison;
+  spec.trace.kind = TraceSource::Kind::kCsvFile;
+  spec.trace.csv_path = csv;
+  spec.comparison = fast_comparison();
+
+  ExperimentService service((ServiceOptions()));
+  const JobHandle first = service.submit(spec);
+  const auto from_file = first.wait();
+  EXPECT_EQ(service.executions(), 1u);
+
+  // Unchanged file content: a hit.
+  const JobHandle second = service.submit(spec);
+  second.wait();
+  EXPECT_EQ(service.executions(), 1u);
+  EXPECT_TRUE(second.from_cache());
+
+  // Rewriting the file with different data must miss — the submit-time
+  // load is both the content address and what executes, so an edit can
+  // never serve (or store) a result for the other content.
+  thermal::TraceGeneratorConfig other = tiny_config();
+  other.seed = 5;
+  thermal::generate_trace(other).save_csv(csv);
+  const JobHandle third = service.submit(spec);
+  const auto from_edited = third.wait();
+  EXPECT_EQ(service.executions(), 2u);
+  EXPECT_NE(third.fingerprint(), first.fingerprint());
+  EXPECT_NE(from_edited->comparison.runs[0].energy_output_j,
+            from_file->comparison.runs[0].energy_output_j);
+
+  // Unreadable file: throws on the submitter, synchronously.
+  spec.trace.csv_path = dir.path() + "/missing.csv";
+  EXPECT_THROW(service.submit(spec), std::runtime_error);
+}
+
+// ---------------------------------------------- coalescing / cancellation
+
+TEST(Service, DuplicateInFlightSpecsCoalesce) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExperimentService service(options);
+  // The single worker is busy with the blocker while the duplicates are
+  // submitted, so neither can have completed (no cache entry yet): equal
+  // ids prove they attached to one execution.
+  const JobHandle blocker = service.submit(montecarlo_spec(6));
+  const JobHandle a = service.submit(comparison_spec());
+  const JobHandle b = service.submit(comparison_spec());
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(service.coalesced(), 1u);
+  const auto result_a = a.wait();
+  const auto result_b = b.wait();
+  EXPECT_EQ(result_a.get(), result_b.get());
+  blocker.wait();
+  EXPECT_EQ(service.executions(), 2u) << "blocker + one coalesced execution";
+  EXPECT_EQ(service.cache_hits(), 0u);
+}
+
+TEST(Service, CancelledQueuedJobNeverRuns) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExperimentService service(options);
+  const JobHandle blocker = service.submit(montecarlo_spec(6));
+  const JobHandle victim = service.submit(comparison_spec());
+  EXPECT_TRUE(victim.cancel());
+  EXPECT_EQ(victim.status(), JobStatus::kCancelled);
+  EXPECT_FALSE(victim.cancel()) << "second cancel has nothing to do";
+  EXPECT_THROW(victim.wait(), std::runtime_error);
+  EXPECT_EQ(victim.poll(), nullptr);
+
+  blocker.wait();
+  EXPECT_EQ(service.executions(), 1u) << "only the blocker may have run";
+
+  // The cancelled job must not poison its fingerprint: resubmitting the
+  // same spec starts a fresh execution instead of attaching to the corpse.
+  const JobHandle fresh = service.submit(comparison_spec());
+  const auto result = fresh.wait();
+  ASSERT_TRUE(result);
+  EXPECT_NE(fresh.id(), victim.id());
+  EXPECT_EQ(service.executions(), 2u);
+}
+
+TEST(Service, CompletedJobCannotBeCancelled) {
+  ExperimentService service((ServiceOptions()));
+  const JobHandle job = service.submit(comparison_spec());
+  job.wait();
+  EXPECT_FALSE(job.cancel());
+  EXPECT_EQ(job.status(), JobStatus::kDone);
+}
+
+// ------------------------------------------------- fingerprint stability
+
+TEST(Spec, EqualSpecsHashEqual) {
+  EXPECT_EQ(comparison_spec().fingerprint(), comparison_spec().fingerprint());
+  EXPECT_EQ(montecarlo_spec().fingerprint(), montecarlo_spec().fingerprint());
+  EXPECT_EQ(sweep_spec().fingerprint(), sweep_spec().fingerprint());
+}
+
+TEST(Spec, AnyResultAffectingFieldChangesTheHash) {
+  const std::string base = comparison_spec().fingerprint();
+  {
+    ExperimentSpec s = comparison_spec();
+    s.trace.generator.seed = 4;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.trace.generator.layout.num_modules = 25;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.trace.generator.segments[0].duration_s += 0.5;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.comparison.include_ehtr = true;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.comparison.control_period_s = 1.0;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.comparison.sim.ehtr_max_groups = 8;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.comparison.sim.battery.initial_soc += 0.01;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  {
+    ExperimentSpec s = comparison_spec();
+    s.kind = ExperimentKind::kMonteCarlo;
+    EXPECT_NE(s.fingerprint(), base);
+  }
+  const std::string mc_base = montecarlo_spec().fingerprint();
+  {
+    ExperimentSpec s = montecarlo_spec();
+    s.mc_num_seeds += 1;
+    EXPECT_NE(s.fingerprint(), mc_base);
+  }
+  {
+    ExperimentSpec s = montecarlo_spec();
+    s.mc_first_seed += 1;
+    EXPECT_NE(s.fingerprint(), mc_base);
+  }
+  const std::string sweep_base = sweep_spec().fingerprint();
+  {
+    ExperimentSpec s = sweep_spec();
+    s.sweep_values.back() += 0.01;
+    EXPECT_NE(s.fingerprint(), sweep_base);
+  }
+  {
+    ExperimentSpec s = sweep_spec();
+    s.sweep_parameter_name = "ambient_base_c";
+    EXPECT_NE(s.fingerprint(), sweep_base);
+  }
+}
+
+TEST(Spec, ExecutionHintsDoNotFragmentTheCache) {
+  ExperimentSpec a = montecarlo_spec();
+  ExperimentSpec b = montecarlo_spec();
+  b.mc_num_threads = 7;
+  b.comparison.sim.num_threads = 3;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // ...but the hints still round-trip through the canonical text.
+  EXPECT_NE(a.canonical_text(), b.canonical_text());
+  const ExperimentSpec parsed = ExperimentSpec::from_text(b.canonical_text());
+  EXPECT_EQ(parsed.mc_num_threads, 7u);
+  EXPECT_EQ(parsed.comparison.sim.num_threads, 3u);
+}
+
+TEST(Spec, MonteCarloBaseSeedIsPinned) {
+  // The engine overwrites the generator seed per sample, so two MC specs
+  // differing only there must share one cache entry.
+  ExperimentSpec a = montecarlo_spec();
+  ExperimentSpec b = montecarlo_spec();
+  b.trace.generator.seed = 999;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // For a comparison the seed is the study.
+  ExperimentSpec c = comparison_spec(1);
+  ExperimentSpec d = comparison_spec(2);
+  EXPECT_NE(c.fingerprint(), d.fingerprint());
+}
+
+TEST(Spec, CanonicalTextRoundTrips) {
+  for (const ExperimentSpec& spec :
+       {comparison_spec(), montecarlo_spec(), sweep_spec()}) {
+    const std::string text = spec.canonical_text();
+    const ExperimentSpec parsed = ExperimentSpec::from_text(text);
+    EXPECT_EQ(parsed.canonical_text(), text);
+    EXPECT_EQ(parsed.fingerprint(), spec.fingerprint());
+  }
+}
+
+TEST(Spec, ParserRejectsGarbage) {
+  EXPECT_THROW(ExperimentSpec::from_text("no_such_key = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::from_text("kind = warp_drive\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::from_text("mc.num_seeds = 3x\nkind = montecarlo\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::from_text("kind\n"), std::invalid_argument);
+  // Non-finite numbers are garbage too (NaN slips past range checks).
+  EXPECT_THROW(ExperimentSpec::from_text("comparison.control_period_s = nan\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::from_text("comparison.control_period_s = inf\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::from_text("kind = comparison\nkind = sweep\n"),
+               std::invalid_argument);
+  // Sparse specs are fine: defaults fill everything unstated.
+  const ExperimentSpec sparse = ExperimentSpec::from_text("kind = sweep\n");
+  EXPECT_EQ(sparse.kind, ExperimentKind::kSweep);
+}
+
+TEST(Spec, InlineTraceSourcesAreContentAddressed) {
+  const thermal::TemperatureTrace trace =
+      thermal::generate_trace(tiny_config());
+  ExperimentSpec spec;
+  spec.trace.kind = TraceSource::Kind::kInline;
+  spec.trace.inline_trace =
+      std::make_shared<thermal::TemperatureTrace>(trace);
+  ExperimentSpec same = spec;
+  same.trace.inline_trace = std::make_shared<thermal::TemperatureTrace>(trace);
+  EXPECT_EQ(spec.fingerprint(), same.fingerprint());
+
+  thermal::TraceGeneratorConfig other_config = tiny_config();
+  other_config.seed = 4;
+  ExperimentSpec other = spec;
+  other.trace.inline_trace = std::make_shared<thermal::TemperatureTrace>(
+      thermal::generate_trace(other_config));
+  EXPECT_NE(spec.fingerprint(), other.fingerprint());
+
+  // Inline specs serialise (as their hash) but cannot be parsed back.
+  EXPECT_THROW(ExperimentSpec::from_text(spec.canonical_text()),
+               std::invalid_argument);
+}
+
+TEST(Sweep, MutatorRegistryKnowsItsVocabulary) {
+  for (const std::string& name : sweep_parameter_names()) {
+    EXPECT_NO_THROW(sweep_mutator(name));
+  }
+  EXPECT_THROW(sweep_mutator("warp_factor"), std::invalid_argument);
+  // Registered mutators actually mutate.
+  thermal::TraceGeneratorConfig config = tiny_config();
+  sweep_mutator("num_modules")(config, 48.0);
+  EXPECT_EQ(config.layout.num_modules, 48u);
+}
+
+}  // namespace
+}  // namespace tegrec::sim

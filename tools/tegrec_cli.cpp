@@ -2,24 +2,50 @@
 //
 //   tegrec_cli trace      --out trace.csv [--seed S] [--modules N]
 //                         [--duration T]
-//   tegrec_cli simulate   --trace trace.csv
+//   tegrec_cli simulate   [--trace F | --spec F]
 //                         [--scheme dnor|inor|ehtr|baseline|all]
-//                         [--threads W] [--max-groups G]
+//                         [--threads W] [--max-groups G] [--cache DIR]
 //   tegrec_cli predict    --trace trace.csv [--method mlr|bpnn|svr|holt]
 //                         [--horizon H]
 //   tegrec_cli montecarlo [--seeds K] [--first-seed S] [--modules N]
-//                         [--duration T] [--threads W]
+//                         [--duration T] [--threads W] [--cache DIR]
+//   tegrec_cli batch      --specs <dir-or-file> [--jobs J] [--cache DIR]
+//                         [--json]
 //
 // `trace` synthesises a drive and writes the per-module temperature CSV;
-// `simulate` replays a CSV through the chosen controller(s) and prints the
-// Table-I style summary; `predict` scores a predictor on the CSV;
-// `montecarlo` runs the multi-core DNOR-vs-baseline study across seeds.
+// `simulate` replays a trace (CSV, spec file, or the built-in default)
+// through the chosen controller(s) and prints the Table-I style summary;
+// `predict` scores a predictor on the CSV; `montecarlo` runs the multi-core
+// DNOR-vs-baseline study across seeds; `batch` runs a whole directory of
+// ExperimentSpec files concurrently through one ExperimentService, with
+// per-job progress on stderr and a machine-readable summary (--json) on
+// stdout.
+//
+// Flag values are parsed with util::parse — a non-numeric or trailing-junk
+// value (`--seeds abc`, `--duration 10x`) is an error, never a silent zero —
+// and unknown flags are rejected instead of ignored.
+// GCC 12's -O3 middle end raises false-positive -Warray-bounds/-Wrestrict
+// reports from the inlined reallocation of std::vector<std::pair<std::string,
+// json::Value>> (the batch summary's Object growth; GCC PR105329 family).
+// The library itself compiles clean — suppress for this tool TU only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
-#include <stdexcept>
+#include <filesystem>
 #include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "predict/bpnn.hpp"
 #include "predict/evaluate.hpp"
@@ -27,42 +53,112 @@
 #include "predict/mlr.hpp"
 #include "predict/svr.hpp"
 #include "sim/experiment.hpp"
-#include "sim/montecarlo.hpp"
 #include "sim/results.hpp"
+#include "sim/service.hpp"
+#include "sim/spec.hpp"
 #include "thermal/trace.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace tegrec;
 
-// Tiny --key value parser: every option takes exactly one argument.
-std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
-  std::map<std::string, std::string> flags;
+// ------------------------------------------------------------------ flags
+
+using FlagMap = std::map<std::string, std::string>;
+
+/// --key value parser with an explicit vocabulary: `value_flags` take one
+/// argument, `bool_flags` take none (stored as "1").  Anything else — an
+/// unknown flag, a missing value, a stray positional — is an error.
+FlagMap parse_flags(int argc, char** argv, int first,
+                    const std::set<std::string>& value_flags,
+                    const std::set<std::string>& bool_flags = {}) {
+  FlagMap flags;
   for (int i = first; i < argc; ++i) {
-    const std::string key = argv[i];
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
-      throw std::invalid_argument("expected --key value pairs, got '" + key + "'");
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected a --flag, got '" + arg + "'");
     }
-    flags[key.substr(2)] = argv[++i];
+    const std::string key = arg.substr(2);
+    if (bool_flags.count(key)) {
+      flags[key] = "1";
+      continue;
+    }
+    if (!value_flags.count(key)) {
+      std::string known;
+      for (const auto& k : value_flags) known += " --" + k;
+      for (const auto& k : bool_flags) known += " --" + k;
+      throw std::invalid_argument("unknown flag '" + arg + "' (accepted:" +
+                                  known + ")");
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("flag '" + arg + "' needs a value");
+    }
+    flags[key] = argv[++i];
   }
   return flags;
 }
 
-std::string flag_or(const std::map<std::string, std::string>& flags,
-                    const std::string& key, const std::string& fallback) {
+std::string flag_or(const FlagMap& flags, const std::string& key,
+                    const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
 }
 
-int cmd_trace(const std::map<std::string, std::string>& flags) {
+double flag_double(const FlagMap& flags, const std::string& key,
+                   double fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  try {
+    return util::parse_double(it->second);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("--" + key + ": " + e.what());
+  }
+}
+
+std::uint64_t flag_u64(const FlagMap& flags, const std::string& key,
+                       std::uint64_t fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  try {
+    return util::parse_u64(it->second);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("--" + key + ": " + e.what());
+  }
+}
+
+std::size_t flag_size(const FlagMap& flags, const std::string& key,
+                      std::size_t fallback) {
+  return static_cast<std::size_t>(
+      flag_u64(flags, key, static_cast<std::uint64_t>(fallback)));
+}
+
+double positive_duration(const FlagMap& flags, double fallback) {
+  const double duration = flag_double(flags, "duration", fallback);
+  if (duration <= 0.0) {
+    throw std::invalid_argument("--duration must be positive");
+  }
+  return duration;
+}
+
+sim::ServiceOptions service_options(const FlagMap& flags,
+                                    std::size_t num_workers) {
+  sim::ServiceOptions options;
+  options.num_workers = num_workers;
+  options.cache_dir = flag_or(flags, "cache", "");
+  return options;
+}
+
+// --------------------------------------------------------------- commands
+
+int cmd_trace(const FlagMap& flags) {
   thermal::TraceGeneratorConfig config;
-  config.seed = std::strtoull(flag_or(flags, "seed", "2018").c_str(), nullptr, 10);
-  config.layout.num_modules =
-      std::strtoul(flag_or(flags, "modules", "100").c_str(), nullptr, 10);
-  const double duration =
-      std::strtod(flag_or(flags, "duration", "800").c_str(), nullptr);
-  if (duration > 0.0 && duration != 800.0) {
+  config.seed = flag_u64(flags, "seed", 2018);
+  config.layout.num_modules = flag_size(flags, "modules", 100);
+  const double duration = positive_duration(flags, 800.0);
+  if (duration != 800.0) {
     // Scale the default cycle's segments proportionally.
     auto segments = thermal::default_porter_cycle();
     for (auto& s : segments) s.duration_s *= duration / 800.0;
@@ -76,41 +172,60 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_simulate(const std::map<std::string, std::string>& flags) {
-  const std::string path = flag_or(flags, "trace", "");
-  const thermal::TemperatureTrace trace =
-      path.empty() ? thermal::default_experiment_trace()
-                   : thermal::TemperatureTrace::load_csv(path);
-  const std::string scheme = flag_or(flags, "scheme", "all");
+int cmd_simulate(const FlagMap& flags) {
+  sim::ExperimentSpec spec;
+  const std::string spec_path = flag_or(flags, "spec", "");
+  const std::string trace_path = flag_or(flags, "trace", "");
+  if (!spec_path.empty() && !trace_path.empty()) {
+    throw std::invalid_argument("--spec and --trace are mutually exclusive");
+  }
+  if (!spec_path.empty()) {
+    spec = sim::ExperimentSpec::from_file(spec_path);
+    if (spec.kind != sim::ExperimentKind::kComparison) {
+      throw std::invalid_argument("simulate runs comparison specs; use "
+                                  "`tegrec_cli batch` for other kinds");
+    }
+  } else if (!trace_path.empty()) {
+    spec.trace.kind = sim::TraceSource::Kind::kCsvFile;
+    spec.trace.csv_path = trace_path;
+  }  // else: the default generated trace (TraceGeneratorConfig defaults)
 
-  sim::ComparisonOptions options;
-  options.sim.num_threads =
-      std::strtoul(flag_or(flags, "threads", "1").c_str(), nullptr, 10);
-  options.sim.ehtr_max_groups =
-      std::strtoul(flag_or(flags, "max-groups", "0").c_str(), nullptr, 10);
-  if (scheme != "all") {
-    options.include_dnor = scheme == "dnor";
-    options.include_inor = scheme == "inor";
-    options.include_ehtr = scheme == "ehtr";
-    options.include_baseline = scheme == "baseline";
-    if (!options.include_dnor && !options.include_inor && !options.include_ehtr &&
-        !options.include_baseline) {
+  spec.kind = sim::ExperimentKind::kComparison;
+  // Flags override the spec file; unset flags keep its values (which are
+  // the library defaults when no --spec was given).
+  spec.comparison.sim.num_threads =
+      flag_size(flags, "threads", spec.comparison.sim.num_threads);
+  spec.comparison.sim.ehtr_max_groups =
+      flag_size(flags, "max-groups", spec.comparison.sim.ehtr_max_groups);
+  if (flags.count("scheme")) {  // only an explicit flag overrides the spec
+    const std::string& scheme = flags.at("scheme");
+    spec.comparison.include_dnor = scheme == "dnor" || scheme == "all";
+    spec.comparison.include_inor = scheme == "inor" || scheme == "all";
+    spec.comparison.include_ehtr = scheme == "ehtr" || scheme == "all";
+    spec.comparison.include_baseline = scheme == "baseline" || scheme == "all";
+    if (!spec.comparison.include_dnor && !spec.comparison.include_inor &&
+        !spec.comparison.include_ehtr && !spec.comparison.include_baseline) {
       std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
       return 1;
     }
   }
-  const sim::ComparisonResult res = sim::run_standard_comparison(trace, options);
-  std::printf("%s\n", sim::render_table1(res.runs).c_str());
+
+  sim::ExperimentService service(service_options(flags, /*num_workers=*/1));
+  const sim::JobHandle job = service.submit(spec);
+  const auto result = job.wait();
+  std::printf("%s\n", sim::render_table1(result->comparison.runs).c_str());
+  std::fprintf(stderr, "[job %s: %s]\n", job.fingerprint().c_str(),
+               job.from_cache() ? "cache hit" : "executed");
   return 0;
 }
 
-int cmd_predict(const std::map<std::string, std::string>& flags) {
+int cmd_predict(const FlagMap& flags) {
   const std::string path = flag_or(flags, "trace", "");
   const thermal::TemperatureTrace trace =
       path.empty() ? thermal::default_experiment_trace()
                    : thermal::TemperatureTrace::load_csv(path);
   const std::string method = flag_or(flags, "method", "mlr");
-  const double horizon_s = std::strtod(flag_or(flags, "horizon", "1").c_str(), nullptr);
+  const double horizon_s = flag_double(flags, "horizon", 1.0);
 
   std::unique_ptr<predict::Predictor> predictor;
   if (method == "mlr") {
@@ -144,27 +259,25 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_montecarlo(const std::map<std::string, std::string>& flags) {
-  sim::MonteCarloOptions options;
-  options.base_trace.seed = 0;  // overwritten per seed below
-  options.base_trace.layout.num_modules =
-      std::strtoul(flag_or(flags, "modules", "100").c_str(), nullptr, 10);
-  const double duration =
-      std::strtod(flag_or(flags, "duration", "200").c_str(), nullptr);
+int cmd_montecarlo(const FlagMap& flags) {
+  sim::ExperimentSpec spec;
+  spec.kind = sim::ExperimentKind::kMonteCarlo;
+  spec.trace.generator.seed = 0;  // immaterial: the engine re-seeds per sample
+  spec.trace.generator.layout.num_modules = flag_size(flags, "modules", 100);
+  const double duration = positive_duration(flags, 200.0);
   // Short mixed slice per seed, urban then cruise, scaled to --duration.
-  options.base_trace.segments = {
+  spec.trace.generator.segments = {
       {thermal::DriveSegment::Kind::kUrban, duration / 2.0, 32.0, 0.0},
       {thermal::DriveSegment::Kind::kCruise, duration / 2.0, 70.0, 0.0}};
-  options.comparison.include_inor = false;
-  options.comparison.include_ehtr = false;
-  options.num_seeds =
-      std::strtoul(flag_or(flags, "seeds", "10").c_str(), nullptr, 10);
-  options.first_seed =
-      std::strtoull(flag_or(flags, "first-seed", "100").c_str(), nullptr, 10);
-  options.num_threads =
-      std::strtoul(flag_or(flags, "threads", "0").c_str(), nullptr, 10);
+  spec.comparison.include_inor = false;
+  spec.comparison.include_ehtr = false;
+  spec.mc_num_seeds = flag_size(flags, "seeds", 10);
+  spec.mc_first_seed = flag_u64(flags, "first-seed", 100);
+  spec.mc_num_threads = flag_size(flags, "threads", 0);
 
-  const sim::MonteCarloSummary summary = sim::run_monte_carlo(options);
+  sim::ExperimentService service(service_options(flags, /*num_workers=*/1));
+  const sim::JobHandle job = service.submit(spec);
+  const sim::MonteCarloSummary& summary = job.wait()->monte_carlo;
 
   util::TextTable table({"seed", "DNOR (J)", "Baseline (J)", "gain %"});
   for (const auto& s : summary.samples) {
@@ -180,7 +293,209 @@ int cmd_montecarlo(const std::map<std::string, std::string>& flags) {
               summary.samples.size(), 100.0 * summary.gain.mean(),
               100.0 * summary.gain.stddev(), 100.0 * summary.gain.min(),
               100.0 * summary.gain.max());
+  std::fprintf(stderr, "[job %s: %s]\n", job.fingerprint().c_str(),
+               job.from_cache() ? "cache hit" : "executed");
   return 0;
+}
+
+// ------------------------------------------------------------------ batch
+
+/// Finite numbers pass through; non-finite ones become JSON null (dump()
+/// rejects NaN/Inf, and a null is more honest than a sentinel).
+util::json::Value json_num(double v) {
+  return std::isfinite(v) ? util::json::Value(v) : util::json::Value();
+}
+
+const char* kind_name(sim::ExperimentKind kind) {
+  switch (kind) {
+    case sim::ExperimentKind::kComparison: return "comparison";
+    case sim::ExperimentKind::kMonteCarlo: return "montecarlo";
+    case sim::ExperimentKind::kSweep: return "sweep";
+  }
+  return "?";
+}
+
+util::json::Value stats_json(const util::RunningStats& stats) {
+  return util::json::Object{{"mean", json_num(stats.mean())},
+                            {"stddev", json_num(stats.stddev())},
+                            {"min", json_num(stats.min())},
+                            {"max", json_num(stats.max())}};
+}
+
+util::json::Value result_json(const sim::ExperimentResult& result) {
+  switch (result.kind) {
+    case sim::ExperimentKind::kComparison: {
+      util::json::Array runs;
+      for (const auto& run : result.comparison.runs) {
+        runs.push_back(util::json::Object{
+            {"algorithm", run.algorithm},
+            {"energy_output_j", json_num(run.energy_output_j)},
+            {"switch_overhead_j", json_num(run.switch_overhead_j)},
+            {"avg_runtime_ms", json_num(run.avg_runtime_ms)},
+            {"ratio_to_ideal", json_num(run.ratio_to_ideal())}});
+      }
+      return util::json::Object{{"runs", std::move(runs)}};
+    }
+    case sim::ExperimentKind::kMonteCarlo:
+      return util::json::Object{
+          {"num_seeds", result.monte_carlo.samples.size()},
+          {"gain", stats_json(result.monte_carlo.gain)},
+          {"dnor_energy_j", stats_json(result.monte_carlo.dnor_energy_j)}};
+    case sim::ExperimentKind::kSweep: {
+      util::json::Array points;
+      for (const auto& p : result.sweep) {
+        points.push_back(util::json::Object{
+            {"value", json_num(p.value)},
+            {"dnor_energy_j", json_num(p.dnor_energy_j)},
+            {"baseline_energy_j", json_num(p.baseline_energy_j)},
+            {"gain", json_num(p.gain)},
+            {"dnor_ratio_to_ideal", json_num(p.dnor_ratio_to_ideal)}});
+      }
+      return util::json::Object{{"points", std::move(points)}};
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> collect_spec_files(const std::string& path) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(path)) {
+    throw std::invalid_argument("--specs: no such file or directory: " + path);
+  }
+  if (fs::is_regular_file(path)) return {path};
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(path)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".spec") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    throw std::invalid_argument("--specs: no *.spec files in " + path);
+  }
+  return files;
+}
+
+int cmd_batch(const FlagMap& flags) {
+  const std::string specs = flag_or(flags, "specs", "");
+  if (specs.empty()) throw std::invalid_argument("batch needs --specs");
+  const bool as_json = flags.count("json") != 0;
+  const std::vector<std::string> files = collect_spec_files(specs);
+
+  sim::ExperimentService service(
+      service_options(flags, flag_size(flags, "jobs", 0)));
+
+  struct BatchJob {
+    std::string file;
+    sim::JobHandle handle;          // invalid when the spec failed to parse
+    std::string parse_error;
+    std::string kind;
+    std::chrono::steady_clock::time_point submitted;
+    double wall_ms = 0.0;
+    bool reported = false;
+  };
+  std::vector<BatchJob> jobs(files.size());
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    BatchJob& job = jobs[i];
+    job.file = files[i];
+    job.submitted = std::chrono::steady_clock::now();
+    try {
+      const sim::ExperimentSpec spec = sim::ExperimentSpec::from_file(files[i]);
+      job.kind = kind_name(spec.kind);
+      job.handle = service.submit(spec);
+    } catch (const std::exception& e) {
+      job.parse_error = e.what();
+      std::fprintf(stderr, "[%zu/%zu] %s: invalid spec: %s\n", i + 1,
+                   files.size(), files[i].c_str(), e.what());
+      job.reported = true;
+    }
+  }
+
+  // Progress: report each job the moment it turns terminal.
+  std::size_t reported = 0;
+  for (auto& job : jobs) reported += job.reported ? 1 : 0;
+  while (reported < jobs.size()) {
+    bool progressed = false;
+    for (BatchJob& job : jobs) {
+      if (job.reported) continue;
+      const sim::JobStatus status = job.handle.status();
+      if (status != sim::JobStatus::kDone &&
+          status != sim::JobStatus::kFailed &&
+          status != sim::JobStatus::kCancelled) {
+        continue;
+      }
+      job.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - job.submitted)
+                        .count();
+      job.reported = true;
+      ++reported;
+      progressed = true;
+      const char* outcome = status == sim::JobStatus::kDone
+                                ? (job.handle.from_cache() ? "cached" : "executed")
+                                : (status == sim::JobStatus::kFailed ? "FAILED"
+                                                                     : "cancelled");
+      std::fprintf(stderr, "[%zu/%zu] %s: %s %s in %.0f ms\n", reported,
+                   jobs.size(), job.file.c_str(), job.kind.c_str(), outcome,
+                   job.wall_ms);
+    }
+    if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Machine-readable summary.
+  util::json::Array job_entries;
+  int failures = 0;
+  for (const BatchJob& job : jobs) {
+    util::json::Object entry{{"file", job.file}};
+    if (!job.handle.valid()) {
+      entry.emplace_back("status", "invalid");
+      entry.emplace_back("error", job.parse_error);
+      ++failures;
+    } else {
+      entry.emplace_back("kind", job.kind);
+      entry.emplace_back("fingerprint", job.handle.fingerprint());
+      entry.emplace_back("wall_ms", json_num(job.wall_ms));
+      const sim::JobStatus status = job.handle.status();
+      if (status == sim::JobStatus::kDone) {
+        entry.emplace_back("status", "done");
+        entry.emplace_back("from_cache", job.handle.from_cache());
+        entry.emplace_back("result", result_json(*job.handle.poll()));
+      } else if (status == sim::JobStatus::kFailed) {
+        entry.emplace_back("status", "failed");
+        try {
+          job.handle.wait();
+        } catch (const std::exception& e) {
+          entry.emplace_back("error", e.what());
+        }
+        ++failures;
+      } else {
+        entry.emplace_back("status", "cancelled");
+        ++failures;
+      }
+    }
+    job_entries.push_back(std::move(entry));
+  }
+  const util::json::Value summary = util::json::Object{
+      {"schema", 1},
+      {"num_jobs", jobs.size()},
+      {"executed", service.executions()},
+      {"cache_hits", service.cache_hits()},
+      {"coalesced", service.coalesced()},
+      {"jobs", std::move(job_entries)}};
+
+  // The summary must round-trip: parse it back before anyone else has to.
+  const std::string text = util::json::dump(summary, as_json ? 2 : 0);
+  util::json::parse(text);
+
+  if (as_json) {
+    std::printf("%s\n", text.c_str());
+  } else {
+    std::printf("%zu job(s): %zu executed, %zu cache hit(s), %zu coalesced, "
+                "%d failure(s)\n",
+                jobs.size(), service.executions(), service.cache_hits(),
+                service.coalesced(), failures);
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 void usage() {
@@ -188,13 +503,17 @@ void usage() {
                "usage:\n"
                "  tegrec_cli trace    [--out F] [--seed S] [--modules N] "
                "[--duration T]\n"
-               "  tegrec_cli simulate [--trace F] [--scheme dnor|inor|ehtr|"
-               "baseline|all]\n"
-               "                      [--threads W] [--max-groups G]\n"
+               "  tegrec_cli simulate [--trace F | --spec F] [--scheme dnor|"
+               "inor|ehtr|baseline|all]\n"
+               "                      [--threads W] [--max-groups G] "
+               "[--cache DIR]\n"
                "  tegrec_cli predict  [--trace F] [--method mlr|bpnn|svr|holt] "
                "[--horizon H]\n"
                "  tegrec_cli montecarlo [--seeds K] [--first-seed S] "
-               "[--modules N] [--duration T] [--threads W]\n");
+               "[--modules N] [--duration T]\n"
+               "                      [--threads W] [--cache DIR]\n"
+               "  tegrec_cli batch    --specs DIR-or-FILE [--jobs J] "
+               "[--cache DIR] [--json]\n");
 }
 
 }  // namespace
@@ -206,11 +525,28 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
-    const auto flags = parse_flags(argc, argv, 2);
-    if (command == "trace") return cmd_trace(flags);
-    if (command == "simulate") return cmd_simulate(flags);
-    if (command == "predict") return cmd_predict(flags);
-    if (command == "montecarlo") return cmd_montecarlo(flags);
+    if (command == "trace") {
+      return cmd_trace(parse_flags(argc, argv, 2,
+                                   {"out", "seed", "modules", "duration"}));
+    }
+    if (command == "simulate") {
+      return cmd_simulate(parse_flags(
+          argc, argv, 2,
+          {"trace", "spec", "scheme", "threads", "max-groups", "cache"}));
+    }
+    if (command == "predict") {
+      return cmd_predict(parse_flags(argc, argv, 2,
+                                     {"trace", "method", "horizon"}));
+    }
+    if (command == "montecarlo") {
+      return cmd_montecarlo(parse_flags(argc, argv, 2,
+                                        {"seeds", "first-seed", "modules",
+                                         "duration", "threads", "cache"}));
+    }
+    if (command == "batch") {
+      return cmd_batch(parse_flags(argc, argv, 2, {"specs", "jobs", "cache"},
+                                   {"json"}));
+    }
     usage();
     return 1;
   } catch (const std::exception& e) {

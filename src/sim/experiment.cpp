@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -21,7 +22,11 @@ const SimulationResult& ComparisonResult::by_name(const std::string& name) const
 
 double ComparisonResult::dnor_gain_over_baseline() const {
   const double base = by_name("Baseline").energy_output_j;
-  if (base <= 0.0) return 0.0;
+  // A zero-harvest baseline (cold-soak traces can leave the fixed grid
+  // below the converter threshold) has no defined gain; 0.0 would read as
+  // "no improvement" when DNOR in fact harvested everything.  NaN follows
+  // the library's unmeasured-value convention (empty CSV cells, JSON null).
+  if (base <= 0.0) return std::numeric_limits<double>::quiet_NaN();
   return by_name("DNOR").energy_output_j / base - 1.0;
 }
 

@@ -36,7 +36,9 @@ struct ComparisonResult {
   const SimulationResult& by_name(const std::string& name) const;
 
   /// DNOR energy gain over the fixed baseline (the paper's "+30%"), as a
-  /// fraction; requires both runs to be present.
+  /// fraction; requires both runs to be present.  NaN when the baseline
+  /// harvested nothing (the gain is undefined, not zero — serialises as an
+  /// empty CSV cell / JSON null like every unmeasured value).
   double dnor_gain_over_baseline() const;
   /// EHTR/DNOR switch-overhead ratio (the paper's "~100x").
   double overhead_reduction_ratio() const;

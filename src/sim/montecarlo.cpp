@@ -1,5 +1,6 @@
 #include "sim/montecarlo.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/service.hpp"
@@ -26,7 +27,13 @@ void fold_monte_carlo_stats(MonteCarloSummary& summary) {
   // Fold the running statistics serially in seed order: floating-point
   // accumulation order is part of the bit-identical guarantee.
   for (const MonteCarloSample& sample : summary.samples) {
-    summary.gain.add(sample.gain);
+    // A zero-harvest baseline makes that seed's gain NaN (undefined, not
+    // zero — see ComparisonResult::dnor_gain_over_baseline).  Keep the
+    // sample row honest but leave it out of the aggregate, so one
+    // degenerate drive reduces gain.count() instead of poisoning the
+    // statistics of every valid seed.  The disk-cache decoder re-folds
+    // through this same function, so cached summaries agree.
+    if (!std::isnan(sample.gain)) summary.gain.add(sample.gain);
     summary.dnor_energy_j.add(sample.dnor_energy_j);
     summary.dnor_overhead_j.add(sample.dnor_overhead_j);
     summary.dnor_switches.add(sample.dnor_switches);

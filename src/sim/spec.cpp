@@ -9,6 +9,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "thermal/scenario.hpp"
 #include "util/hash.hpp"
 #include "util/parse.hpp"
 
@@ -161,6 +162,14 @@ class FieldIo {
     field("exec." + key, v);
   }
 
+  /// Parse mode: whether the key is present (and not yet consumed).  Lets
+  /// a binding distinguish "absent, keep the default" from "present but
+  /// empty", which for most fields is a parse error downstream anyway but
+  /// for strings would silently alias the default.
+  bool present(const std::string& key) const {
+    return values_.count(prefix_ + key) != 0;
+  }
+
   std::string take_text() { return std::move(text_); }
 
   /// Parse mode: every key must have been consumed by now.
@@ -252,11 +261,9 @@ const std::vector<std::pair<TraceSource::Kind, const char*>> kSourceNames = {
     {TraceSource::Kind::kCsvFile, "csv"},
     {TraceSource::Kind::kInline, "inline"}};
 
-const std::vector<std::pair<thermal::DriveSegment::Kind, const char*>>
-    kSegmentNames = {{thermal::DriveSegment::Kind::kIdle, "idle"},
-                     {thermal::DriveSegment::Kind::kUrban, "urban"},
-                     {thermal::DriveSegment::Kind::kCruise, "cruise"},
-                     {thermal::DriveSegment::Kind::kHill, "hill"}};
+// Segment kind names come from thermal::segment_kind_names(): one table
+// shared with to_string, so a new kind cannot reach the enum without
+// reaching the spec vocabulary.
 
 void bind(FieldIo& io, thermal::RadiatorLayout& p) {
   io.field("num_modules", p.num_modules);
@@ -305,7 +312,11 @@ void bind(FieldIo& io, thermal::AmbientProfile& p) {
   io.field("noise_reversion", p.noise_reversion);
   std::size_t num_steps = p.steps.size();
   io.field("num_steps", num_steps);
-  if (io.parsing()) p.steps.assign(num_steps, thermal::AmbientStepEvent{});
+  // resize, not assign: entries the file does not mention keep the base
+  // config's values (the library defaults, or the resolved scenario when
+  // trace.scenario set one) — the same missing-keys-keep-defaults rule
+  // scalar fields follow.  Entries beyond the base count start fresh.
+  if (io.parsing()) p.steps.resize(num_steps);
   for (std::size_t i = 0; i < num_steps; ++i) {
     FieldIo::Scope step(io, "step." + std::to_string(i) + ".");
     io.field("time_s", p.steps[i].time_s);
@@ -332,13 +343,17 @@ void bind(FieldIo& io, thermal::TraceGeneratorConfig& g, bool pin_seed) {
   }
   std::size_t num_segments = g.segments.size();
   io.field("num_segments", num_segments);
-  if (io.parsing()) g.segments.assign(num_segments, thermal::DriveSegment{});
+  // resize, not assign — see the ambient steps binding above.
+  if (io.parsing()) g.segments.resize(num_segments);
   for (std::size_t i = 0; i < num_segments; ++i) {
     FieldIo::Scope segment(io, "segment." + std::to_string(i) + ".");
-    io.enum_field("kind", g.segments[i].kind, kSegmentNames);
+    io.enum_field("kind", g.segments[i].kind, thermal::segment_kind_names());
     io.field("duration_s", g.segments[i].duration_s);
     io.field("target_speed_kmh", g.segments[i].target_speed_kmh);
     io.field("grade_percent", g.segments[i].grade_percent);
+    io.field("process_power_kw", g.segments[i].process_power_kw);
+    io.field("process_power_end_kw", g.segments[i].process_power_end_kw);
+    io.field("period_s", g.segments[i].period_s);
   }
   io.field("sample_dt_s", g.sample_dt_s);
   io.field("sim_dt_s", g.sim_dt_s);
@@ -450,6 +465,40 @@ void bind_spec(FieldIo& io, ExperimentSpec& spec) {
   }
   io.enum_field("kind", spec.kind, kKindNames);
   io.enum_field("trace.source", spec.trace.kind, kSourceNames);
+  // A named scenario is bound before the trace.gen.* block: parsing
+  // resolves the registry entry into the generator config first, so any
+  // trace.gen.* keys in the same file act as overrides on top of it.
+  // Emission writes the name *and* the fully resolved config — the
+  // fingerprint therefore tracks the actual physics, and editing a
+  // registry entry invalidates cached results rather than serving stale
+  // ones under an unchanged name.
+  const bool scenario_key_given = io.parsing() && io.present("trace.scenario");
+  if (io.parsing() || !spec.trace.scenario_name.empty()) {
+    io.field("trace.scenario", spec.trace.scenario_name);
+  }
+  if (scenario_key_given && spec.trace.scenario_name.empty()) {
+    // An empty value would silently run the default workload — the same
+    // class of bug as an unknown key, so it gets the same treatment.
+    throw std::invalid_argument(
+        "experiment spec: trace.scenario must name a registered scenario "
+        "(or the key must be omitted)");
+  }
+  if (!spec.trace.scenario_name.empty()) {
+    if (spec.trace.kind != TraceSource::Kind::kGenerated) {
+      throw std::invalid_argument(
+          "experiment spec: trace.scenario requires trace.source = generated");
+    }
+    if (io.parsing()) {
+      spec.trace.generator = thermal::scenario(spec.trace.scenario_name);
+    } else if (!thermal::has_scenario(spec.trace.scenario_name)) {
+      // Emitting an unregistered name would produce canonical text that
+      // from_text cannot re-parse — a fingerprint for an address nobody
+      // can ever resolve.  Fail at serialisation, not at the round trip.
+      throw std::invalid_argument(
+          "experiment spec: scenario_name '" + spec.trace.scenario_name +
+          "' is not a registered scenario (use sim::scenario_source)");
+    }
+  }
   // Only the active source's fields are serialised: an inactive source
   // cannot affect the result, so it must not affect the fingerprint.
   switch (spec.trace.kind) {
@@ -517,6 +566,14 @@ std::string emit_spec(const ExperimentSpec& spec, bool include_exec) {
 }
 
 }  // namespace
+
+TraceSource scenario_source(const std::string& name) {
+  TraceSource source;
+  source.kind = TraceSource::Kind::kGenerated;
+  source.generator = thermal::scenario(name);  // throws on unknown names
+  source.scenario_name = name;
+  return source;
+}
 
 std::string ExperimentSpec::canonical_text() const {
   return emit_spec(*this, /*include_exec=*/true);

@@ -39,7 +39,9 @@ namespace tegrec::sim {
 
 /// Bump when the canonical serialisation (or the semantics of any field in
 /// it) changes; stale cache artifacts then miss instead of mismatching.
-inline constexpr int kSpecSchemaVersion = 1;
+/// v2: named workload scenarios (trace.scenario) and the process-load /
+/// stop-start / cold-start segment fields.
+inline constexpr int kSpecSchemaVersion = 2;
 
 enum class ExperimentKind { kComparison, kMonteCarlo, kSweep };
 
@@ -53,6 +55,16 @@ struct TraceSource {
   Kind kind = Kind::kGenerated;
 
   thermal::TraceGeneratorConfig generator;  ///< kGenerated only
+  /// kGenerated only: name of the registered workload scenario
+  /// (thermal/scenario.hpp) `generator` was resolved from; empty for
+  /// hand-assembled configs.  Serialised into the canonical text alongside
+  /// the full resolved generator config, so the fingerprint tracks both the
+  /// name and the physics it expanded to — editing a registry entry
+  /// invalidates cached results instead of serving stale ones.  Parsing
+  /// applies the scenario first and any `trace.gen.*` keys as overrides on
+  /// top; unknown names throw.  Use scenario_source() to build one
+  /// programmatically (it keeps name and generator consistent).
+  std::string scenario_name;
   std::string csv_path;                     ///< kCsvFile only
   double csv_dt_s = 0.0;  ///< optional explicit dt for load_csv (0 = derive)
   /// kInline only.  Serialises as its content hash, so specs built around
@@ -60,6 +72,12 @@ struct TraceSource {
   /// cache; from_text() rejects it because the samples are not in the text.
   std::shared_ptr<const thermal::TemperatureTrace> inline_trace;
 };
+
+/// A generated trace source resolved from a named workload scenario:
+/// `kind = kGenerated`, `generator = thermal::scenario(name)`, and
+/// `scenario_name = name` so the canonical text records the provenance.
+/// Throws std::invalid_argument for unknown names (listing the registry).
+TraceSource scenario_source(const std::string& name);
 
 struct ExperimentSpec {
   ExperimentKind kind = ExperimentKind::kComparison;

@@ -6,6 +6,52 @@
 
 namespace tegrec::thermal {
 
+namespace {
+
+// kStopStart signal schedule (fractions of one period): accelerate/cruise,
+// brake to rest, then dwell at the light with the engine stopped.
+constexpr double kStopStartDefaultPeriodS = 55.0;
+constexpr double kStopStartGoFraction = 0.50;
+constexpr double kStopStartBrakeFraction = 0.14;  // rest of the period dwells
+
+// kColdStart warm-up: stationary fast idle before drive-away, and the
+// decaying cold-friction/fast-idle fuel surcharge.
+constexpr double kColdStartIdleFractionMax = 0.25;
+constexpr double kColdStartIdleCapS = 120.0;
+constexpr double kColdStartSurchargeKw = 2.5;
+constexpr double kColdStartSurchargeTauS = 150.0;
+
+// kBatchCycle firing schedule: high fire, modulation ramp down, low fire,
+// modulation ramp up (fractions of one period).
+constexpr double kBatchDefaultPeriodS = 120.0;
+constexpr double kBatchHighFraction = 0.55;
+constexpr double kBatchRampFraction = 0.05;
+
+double stop_start_period(const DriveSegment& seg) {
+  return seg.period_s > 0.0 ? seg.period_s : kStopStartDefaultPeriodS;
+}
+
+/// Phase within the current signal cycle as a fraction of the period, and
+/// the schedule's stopped-dwell window — the single source of truth both
+/// the speed tracker and the engine-off predicate read, so "target speed
+/// is zero because we are dwelling" and "the idle-stop controller may
+/// kill the engine" can never drift apart.
+double stop_start_phase(const DriveSegment& seg, double t_in_segment) {
+  const double period = stop_start_period(seg);
+  return std::fmod(t_in_segment, period) / period;
+}
+
+bool stop_start_in_dwell(double phase) {
+  return phase >= kStopStartGoFraction + kStopStartBrakeFraction;
+}
+
+double cold_start_idle_s(const DriveSegment& seg) {
+  return std::min(kColdStartIdleFractionMax * seg.duration_s,
+                  kColdStartIdleCapS);
+}
+
+}  // namespace
+
 std::vector<DriveSegment> default_porter_cycle() {
   using K = DriveSegment::Kind;
   return {
@@ -37,20 +83,69 @@ double engine_power_kw(const VehicleParams& vehicle, double speed_kmh,
   return std::min(total_kw, vehicle.max_engine_power_kw);
 }
 
+bool is_process_kind(DriveSegment::Kind kind) {
+  return kind == DriveSegment::Kind::kSteadyProcess ||
+         kind == DriveSegment::Kind::kLoadRamp ||
+         kind == DriveSegment::Kind::kBatchCycle;
+}
+
+double process_power_kw(const DriveSegment& seg, double t_in_segment) {
+  switch (seg.kind) {
+    case DriveSegment::Kind::kSteadyProcess:
+      return seg.process_power_kw;
+    case DriveSegment::Kind::kLoadRamp: {
+      const double x =
+          seg.duration_s > 0.0
+              ? std::clamp(t_in_segment / seg.duration_s, 0.0, 1.0)
+              : 1.0;
+      return seg.process_power_kw +
+             (seg.process_power_end_kw - seg.process_power_kw) * x;
+    }
+    case DriveSegment::Kind::kBatchCycle: {
+      // High fire -> modulation ramp -> low fire -> modulation ramp back.
+      // The ramps model burner turndown, which is never instantaneous.
+      const double period =
+          seg.period_s > 0.0 ? seg.period_s : kBatchDefaultPeriodS;
+      const double phase = std::fmod(t_in_segment, period) / period;
+      const double high = seg.process_power_kw;
+      const double low = seg.process_power_end_kw;
+      const double ramp = kBatchRampFraction;
+      const double high_end = kBatchHighFraction;
+      if (phase < high_end) return high;
+      if (phase < high_end + ramp) {
+        return high + (low - high) * (phase - high_end) / ramp;
+      }
+      if (phase < 1.0 - ramp) return low;
+      return low + (high - low) * (phase - (1.0 - ramp)) / ramp;
+    }
+    default:
+      throw std::invalid_argument(
+          "process_power_kw: not a process-load segment kind");
+  }
+}
+
 namespace {
 
 // Smoothly tracks a target speed with bounded acceleration, adding
 // segment-appropriate fluctuation (stop-go oscillation for urban, mild
-// ripple for cruise).
+// ripple for cruise, signal phases for stop-start, a fast-idle hold plus
+// gentle drive-away for cold start).  Process-load kinds pin the speed to
+// zero.
 class SpeedTracker {
  public:
   explicit SpeedTracker(util::Rng& rng) : rng_(rng) {}
 
   double step(const DriveSegment& seg, double t_in_segment, double dt) {
+    if (is_process_kind(seg.kind)) {
+      speed_ = 0.0;
+      return speed_;
+    }
     double target = seg.target_speed_kmh;
+    bool stationary_phase = false;
     switch (seg.kind) {
       case DriveSegment::Kind::kIdle:
         target = 0.0;
+        stationary_phase = true;
         break;
       case DriveSegment::Kind::kUrban: {
         // Stop-and-go: ~40 s light cycle, dips to zero at intersections.
@@ -66,12 +161,44 @@ class SpeedTracker {
         target = seg.target_speed_kmh *
                  (1.0 + 0.06 * std::sin(2.0 * M_PI * t_in_segment / 35.0));
         break;
+      case DriveSegment::Kind::kStopStart: {
+        // Signalised traffic: launch and hold, brake to rest, dwell.
+        const double phase = stop_start_phase(seg, t_in_segment);
+        if (phase < kStopStartGoFraction) {
+          target = seg.target_speed_kmh;
+        } else {
+          target = 0.0;
+          stationary_phase = stop_start_in_dwell(phase);
+        }
+        break;
+      }
+      case DriveSegment::Kind::kColdStart: {
+        // Warm-up idle first, then a gentle ramp up to the target (cold
+        // driveline: the driver keeps revs and acceleration down).
+        const double idle_s = cold_start_idle_s(seg);
+        if (t_in_segment < idle_s) {
+          target = 0.0;
+          stationary_phase = true;
+        } else {
+          const double drive_s = std::max(seg.duration_s - idle_s, 1.0);
+          const double x = std::clamp((t_in_segment - idle_s) / (0.5 * drive_s),
+                                      0.0, 1.0);
+          target = seg.target_speed_kmh * x *
+                   (1.0 + 0.03 * std::sin(2.0 * M_PI * t_in_segment / 50.0));
+        }
+        break;
+      }
+      default:
+        break;
     }
-    target += rng_.gaussian(0.0, seg.kind == DriveSegment::Kind::kIdle ? 0.0 : 0.8);
+    target += rng_.gaussian(0.0, stationary_phase ? 0.0 : 0.8);
     target = std::max(target, 0.0);
 
-    const double max_accel_kmh_s = 7.5;   // ~2.1 m/s^2
+    double max_accel_kmh_s = 7.5;   // ~2.1 m/s^2
     const double max_brake_kmh_s = 12.0;  // ~3.3 m/s^2
+    if (seg.kind == DriveSegment::Kind::kColdStart) {
+      max_accel_kmh_s = 4.0;  // gentle launches on a cold driveline
+    }
     const double delta = std::clamp(target - speed_, -max_brake_kmh_s * dt,
                                     max_accel_kmh_s * dt);
     speed_ = std::max(speed_ + delta, 0.0);
@@ -84,6 +211,16 @@ class SpeedTracker {
   util::Rng& rng_;
   double speed_ = 0.0;
 };
+
+// True while a kStopStart segment is inside its engine-off dwell: the
+// schedule says "stopped" and the vehicle has actually come to rest (the
+// idle-stop controller never kills the engine mid-brake).
+bool stop_start_engine_off(const DriveSegment& seg, double t_in_segment,
+                           double speed_kmh) {
+  if (seg.kind != DriveSegment::Kind::kStopStart) return false;
+  return stop_start_in_dwell(stop_start_phase(seg, t_in_segment)) &&
+         speed_kmh < 0.5;
+}
 
 }  // namespace
 
@@ -106,21 +243,59 @@ DriveCycle generate_drive_cycle(const std::vector<DriveSegment>& segments,
       const double t_in = static_cast<double>(k) * dt_s;
       const double v = tracker.step(seg, t_in, dt_s);
       const double accel = (v - prev_speed) / 3.6 / dt_s;
+      double power_kw = 0.0;
+      bool on = true;
+      if (is_process_kind(seg.kind)) {
+        // Process-load model: the firing schedule is the power series.  A
+        // ~1% combustion ripple stands in for burner/fuel variability; the
+        // pilot/auxiliary load keeps the plant above zero between batches.
+        double firing = process_power_kw(seg, t_in);
+        firing += rng.gaussian(0.0, 0.01 * std::max(firing, 1.0));
+        power_kw = std::clamp(firing + vehicle.idle_power_kw, 0.0,
+                              vehicle.max_engine_power_kw);
+      } else if (stop_start_engine_off(seg, t_in, v)) {
+        // Idle-stop dwell: combustion is off, so the heat input is exactly
+        // zero and the coolant cools until the next launch.
+        power_kw = 0.0;
+        on = false;
+      } else {
+        power_kw = engine_power_kw(vehicle, v, accel, seg.grade_percent);
+        if (seg.kind == DriveSegment::Kind::kColdStart) {
+          // Fast idle plus cold-friction surcharge, decaying as oil and
+          // combustion chambers warm.
+          power_kw = std::min(
+              power_kw + kColdStartSurchargeKw *
+                             std::exp(-t_in / kColdStartSurchargeTauS),
+              vehicle.max_engine_power_kw);
+        }
+      }
       cycle.speed_kmh.push_back(v);
-      cycle.engine_power_kw.push_back(
-          engine_power_kw(vehicle, v, accel, seg.grade_percent));
+      cycle.engine_power_kw.push_back(power_kw);
+      cycle.engine_on.push_back(on ? 1 : 0);
       prev_speed = v;
     }
   }
   return cycle;
 }
 
+const std::vector<std::pair<DriveSegment::Kind, const char*>>&
+segment_kind_names() {
+  static const std::vector<std::pair<DriveSegment::Kind, const char*>> names =
+      {{DriveSegment::Kind::kIdle, "idle"},
+       {DriveSegment::Kind::kUrban, "urban"},
+       {DriveSegment::Kind::kCruise, "cruise"},
+       {DriveSegment::Kind::kHill, "hill"},
+       {DriveSegment::Kind::kStopStart, "stop_start"},
+       {DriveSegment::Kind::kColdStart, "cold_start"},
+       {DriveSegment::Kind::kSteadyProcess, "steady_process"},
+       {DriveSegment::Kind::kLoadRamp, "load_ramp"},
+       {DriveSegment::Kind::kBatchCycle, "batch_cycle"}};
+  return names;
+}
+
 std::string to_string(DriveSegment::Kind kind) {
-  switch (kind) {
-    case DriveSegment::Kind::kIdle: return "idle";
-    case DriveSegment::Kind::kUrban: return "urban";
-    case DriveSegment::Kind::kCruise: return "cruise";
-    case DriveSegment::Kind::kHill: return "hill";
+  for (const auto& [value, name] : segment_kind_names()) {
+    if (kind == value) return name;
   }
   return "unknown";
 }

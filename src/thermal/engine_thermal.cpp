@@ -61,9 +61,15 @@ CoolantTrace simulate_cooling_loop(const EngineThermalParams& params,
     const double air_speed =
         std::clamp(0.85 * speed_ms + fan, 0.8, params.max_air_speed_ms);
 
-    const double flow_lpm = pump_flow_lpm(params, cycle.engine_power_kw[k],
-                                          vehicle.max_engine_power_kw) *
-                            thermostat_fraction(params, t_engine);
+    // An idle-stop dwell (kStopStart) kills combustion and the belt-driven
+    // pump with it; only a thermosiphon trickle keeps circulating, so the
+    // loop genuinely cools between launches.
+    const bool engine_on = cycle.engine_on_at(k);
+    const double flow_lpm =
+        engine_on ? pump_flow_lpm(params, cycle.engine_power_kw[k],
+                                  vehicle.max_engine_power_kw) *
+                        thermostat_fraction(params, t_engine)
+                  : 1.5;
     const double hot_cap =
         coolant.capacity_rate_w_k(lpm_to_m3s(std::max(flow_lpm, 1.0)));
     const double air_flow_m3s = air_speed * params.radiator_face_area_m2;
@@ -78,7 +84,9 @@ CoolantTrace simulate_cooling_loop(const EngineThermalParams& params,
         t_engine > ambient_c ? solve(exchanger, cond).heat_rate_w : 0.0;
 
     const double q_in =
-        params.heat_to_coolant_fraction * cycle.engine_power_kw[k] * 1000.0;
+        engine_on
+            ? params.heat_to_coolant_fraction * cycle.engine_power_kw[k] * 1000.0
+            : 0.0;
     t_engine += (q_in - q_reject) / params.thermal_mass_j_k * cycle.dt_s;
     // sigma_stationary = sigma / sqrt(2 * reversion); scale the OU diffusion
     // so the configured process_noise_c is the stationary 1-sigma.

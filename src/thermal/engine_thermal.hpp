@@ -1,11 +1,20 @@
-// Engine/coolant lumped thermal model with thermostat and pump dynamics.
+// Heat-source/coolant lumped thermal model with thermostat and pump
+// dynamics.
 //
 // Produces the two time series the paper measured on the truck: coolant
 // inlet temperature (thermocouple at the radiator entrance) and coolant
 // volumetric flow (Recordall meter).  A single thermal mass integrates the
-// engine's heat-to-coolant power against the radiator's rejection, with a
+// source's heat-to-coolant power against the radiator's rejection, with a
 // wax thermostat throttling radiator flow below its opening window and a
-// crankshaft-driven pump scaling flow with engine load.
+// crankshaft-driven pump scaling flow with load.  The model is agnostic to
+// what the heat source is: for industrial duty cycles (boiler/kiln
+// scenarios) the "engine power" series is a firing schedule, the
+// "thermostat" a process-control valve, and the constants are retuned
+// through the same struct.  Steps flagged engine-off by the workload
+// (kStopStart idle-stop dwells) inject no heat and drop pump flow to a
+// thermosiphon trickle, so the loop cools until the next launch.  A
+// below-thermostat `initial_coolant_c` (cold soak) reproduces the
+// cold-start warm-up transient.
 #pragma once
 
 #include <cstdint>

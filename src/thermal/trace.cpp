@@ -153,7 +153,27 @@ TemperatureTrace TemperatureTrace::load_csv(const std::string& path,
     }
   }
   TemperatureTrace trace(dt, n);
-  for (const auto& row : table.rows) {
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    // Empty CSV cells parse as NaN (the bench writers' unmeasured-value
+    // convention) — but in a temperature log a blank cell means the row was
+    // truncated mid-write, and a NaN temperature would silently poison
+    // every simulation downstream.  Reject it at the door, naming the file
+    // line (row i sits at source line row_lines[i]; header is line 1).
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (!std::isfinite(row[c])) {
+        const std::size_t line =
+            i < table.row_lines.size() ? table.row_lines[i] : i + 2;
+        std::string message =
+            "TemperatureTrace::load_csv: blank or non-finite value in "
+            "column '";
+        message += table.header[c];
+        message += "' at line ";
+        message += std::to_string(line);
+        message += " (truncated row?)";
+        throw std::runtime_error(message);
+      }
+    }
     std::vector<double> temps(row.begin() + 2, row.end());
     trace.append(temps, row[1]);
   }
@@ -203,8 +223,15 @@ TemperatureTrace generate_trace(const TraceGeneratorConfig& config) {
         coolant_props.capacity_rate_w_k(lpm_to_m3s(s.coolant_flow_lpm));
     cond.cold_capacity_w_k = air_props.capacity_rate_w_k(
         s.air_speed_ms * config.engine.radiator_face_area_m2);
+    // A cold-soaked loop (kColdStart scenarios) can start at — or, with
+    // measurement noise, a hair below — ambient, where the exchanger model
+    // is undefined (it would reject heat the wrong way).  There is simply
+    // no temperature difference to harvest yet: the whole surface sits at
+    // ambient.
     const std::vector<double> target =
-        module_hot_side_temperatures(config.layout, cond);
+        cond.hot_inlet_c > cond.cold_inlet_c
+            ? module_hot_side_temperatures(config.layout, cond)
+            : std::vector<double>(config.layout.num_modules, cond.cold_inlet_c);
     if (surface.empty()) {
       surface = target;  // start settled at the first operating point
     } else {

@@ -101,7 +101,9 @@ CsvTable csv_from_string(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   bool first = true;
+  std::size_t line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty() || line == "\r") continue;
     const std::vector<std::string> cells = split_cells(line);
     if (first) {
@@ -113,9 +115,13 @@ CsvTable csv_from_string(const std::string& text) {
     row.reserve(cells.size());
     for (const std::string& cell : cells) row.push_back(parse_cell(cell));
     if (row.size() != table.header.size()) {
-      throw std::runtime_error("CSV: row width differs from header");
+      throw std::runtime_error(
+          "CSV: row width " + std::to_string(row.size()) +
+          " differs from header width " + std::to_string(table.header.size()) +
+          " at line " + std::to_string(line_no));
     }
     table.rows.push_back(std::move(row));
+    table.row_lines.push_back(line_no);
   }
   return table;
 }

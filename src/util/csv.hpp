@@ -17,6 +17,11 @@ namespace tegrec::util {
 struct CsvTable {
   std::vector<std::string> header;
   std::vector<std::vector<double>> rows;
+  /// 1-based source line of each data row, filled by the readers (blank
+  /// lines shift rows off their index, so errors about "row i" could
+  /// otherwise point at the wrong place in the file).  Empty for tables
+  /// built in memory.
+  std::vector<std::size_t> row_lines;
 
   std::size_t num_rows() const { return rows.size(); }
   std::size_t num_cols() const { return header.size(); }

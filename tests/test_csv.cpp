@@ -37,6 +37,26 @@ TEST(Csv, MalformedCellThrows) {
   EXPECT_THROW(csv_from_string("a,b\n1,xyz\n"), std::runtime_error);
 }
 
+TEST(Csv, RowLinesTrackSourceLinesAcrossBlanks) {
+  // Blank separator lines shift data rows off their index; row_lines keeps
+  // the true 1-based source line so error messages can point at the file.
+  const CsvTable t = csv_from_string("a,b\n1,2\n\n3,4\n");
+  ASSERT_EQ(t.num_rows(), 2u);
+  ASSERT_EQ(t.row_lines.size(), 2u);
+  EXPECT_EQ(t.row_lines[0], 2u);
+  EXPECT_EQ(t.row_lines[1], 4u);
+}
+
+TEST(Csv, WidthMismatchNamesTheLine) {
+  try {
+    csv_from_string("a,b\n1,2\n3\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Csv, ShortRowThrows) {
   EXPECT_THROW(csv_from_string("a,b\n1\n"), std::runtime_error);
 }

@@ -134,6 +134,121 @@ TEST(DriveCycle, SegmentKindNames) {
   EXPECT_EQ(to_string(DriveSegment::Kind::kUrban), "urban");
   EXPECT_EQ(to_string(DriveSegment::Kind::kCruise), "cruise");
   EXPECT_EQ(to_string(DriveSegment::Kind::kHill), "hill");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kStopStart), "stop_start");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kColdStart), "cold_start");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kSteadyProcess), "steady_process");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kLoadRamp), "load_ramp");
+  EXPECT_EQ(to_string(DriveSegment::Kind::kBatchCycle), "batch_cycle");
+}
+
+TEST(StopStart, DwellsAreEngineOffWithZeroPower) {
+  std::vector<DriveSegment> segments{
+      {DriveSegment::Kind::kStopStart, 330.0, 40.0, 0.0}};
+  const DriveCycle cycle = generate_drive_cycle(segments, VehicleParams{}, 0.1, 6);
+  ASSERT_EQ(cycle.engine_on.size(), cycle.num_steps());
+  std::size_t off_steps = 0;
+  for (std::size_t k = 0; k < cycle.num_steps(); ++k) {
+    if (!cycle.engine_on_at(k)) {
+      ++off_steps;
+      // Idle-stop means combustion off: power exactly zero, vehicle at rest.
+      EXPECT_DOUBLE_EQ(cycle.engine_power_kw[k], 0.0);
+      EXPECT_LT(cycle.speed_kmh[k], 0.5);
+    } else {
+      // A running engine always burns at least the accessory load.
+      EXPECT_GT(cycle.engine_power_kw[k], 0.0);
+    }
+  }
+  // Six signal cycles of ~36% dwell each: a substantial off share, but the
+  // launches dominate.
+  EXPECT_GT(off_steps, cycle.num_steps() / 6);
+  EXPECT_LT(off_steps, cycle.num_steps() / 2);
+}
+
+TEST(StopStart, LegacyKindsNeverSwitchOff) {
+  const DriveCycle cycle =
+      generate_drive_cycle(default_porter_cycle(), VehicleParams{}, 0.1, 7);
+  for (std::size_t k = 0; k < cycle.num_steps(); ++k) {
+    EXPECT_TRUE(cycle.engine_on_at(k));
+  }
+  // Hand-built cycles that predate the engine_on field read as always-on.
+  DriveCycle bare;
+  bare.speed_kmh = {10.0};
+  bare.engine_power_kw = {5.0};
+  EXPECT_TRUE(bare.engine_on_at(0));
+}
+
+TEST(ColdStart, HoldsFastIdleThenDrivesAwayGently) {
+  std::vector<DriveSegment> segments{
+      {DriveSegment::Kind::kColdStart, 240.0, 40.0, 0.0}};
+  const VehicleParams v;
+  const DriveCycle cycle = generate_drive_cycle(segments, v, 0.1, 8);
+  // Warm-up idle: stationary, but burning more than a warm idle would
+  // (fast idle + cold friction surcharge).
+  for (std::size_t k = 0; k < 300; ++k) {
+    EXPECT_DOUBLE_EQ(cycle.speed_kmh[k], 0.0);
+    EXPECT_GT(cycle.engine_power_kw[k], v.idle_power_kw + 1.0);
+  }
+  // Drive-away reaches the target eventually, under the gentle accel cap.
+  EXPECT_NEAR(cycle.speed_kmh[cycle.num_steps() - 1], 40.0, 10.0);
+  for (std::size_t k = 1; k < cycle.num_steps(); ++k) {
+    EXPECT_LE((cycle.speed_kmh[k] - cycle.speed_kmh[k - 1]) / 0.1, 4.1);
+  }
+}
+
+TEST(ProcessLoad, SteadyRampAndBatchSchedules) {
+  DriveSegment steady{DriveSegment::Kind::kSteadyProcess, 100.0, 0.0, 0.0,
+                      220.0};
+  EXPECT_DOUBLE_EQ(process_power_kw(steady, 0.0), 220.0);
+  EXPECT_DOUBLE_EQ(process_power_kw(steady, 99.0), 220.0);
+
+  DriveSegment ramp{DriveSegment::Kind::kLoadRamp, 100.0, 0.0, 0.0, 100.0,
+                    300.0};
+  EXPECT_DOUBLE_EQ(process_power_kw(ramp, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(process_power_kw(ramp, 50.0), 200.0);
+  EXPECT_DOUBLE_EQ(process_power_kw(ramp, 100.0), 300.0);
+
+  DriveSegment batch{DriveSegment::Kind::kBatchCycle, 400.0, 0.0, 0.0, 280.0,
+                     40.0, 200.0};
+  EXPECT_DOUBLE_EQ(process_power_kw(batch, 10.0), 280.0);   // high fire
+  EXPECT_DOUBLE_EQ(process_power_kw(batch, 150.0), 40.0);   // low fire
+  EXPECT_DOUBLE_EQ(process_power_kw(batch, 210.0), 280.0);  // next batch
+  // The modulation ramp between levels is finite, not a step.
+  const double mid = process_power_kw(batch, 0.55 * 200.0 + 5.0);
+  EXPECT_GT(mid, 40.0);
+  EXPECT_LT(mid, 280.0);
+
+  EXPECT_THROW(process_power_kw({DriveSegment::Kind::kUrban, 10.0, 30.0, 0.0},
+                                0.0),
+               std::invalid_argument);
+}
+
+TEST(ProcessLoad, GeneratedCycleIsStationaryAndTracksTheSchedule) {
+  std::vector<DriveSegment> segments{
+      {DriveSegment::Kind::kLoadRamp, 60.0, 0.0, 0.0, 100.0, 200.0},
+      {DriveSegment::Kind::kBatchCycle, 120.0, 0.0, 0.0, 250.0, 50.0, 60.0}};
+  VehicleParams plant;
+  plant.idle_power_kw = 10.0;
+  plant.max_engine_power_kw = 400.0;
+  const DriveCycle cycle = generate_drive_cycle(segments, plant, 0.1, 9);
+  for (std::size_t k = 0; k < cycle.num_steps(); ++k) {
+    EXPECT_DOUBLE_EQ(cycle.speed_kmh[k], 0.0);
+    EXPECT_TRUE(cycle.engine_on_at(k));
+  }
+  // Power tracks firing + auxiliaries to within the ~1% combustion ripple.
+  EXPECT_NEAR(cycle.engine_power_kw[100], 100.0 + 100.0 / 6.0 + 10.0, 15.0);
+  EXPECT_NEAR(cycle.engine_power_kw[650], 250.0 + 10.0, 15.0);   // high fire
+  EXPECT_NEAR(cycle.engine_power_kw[1050], 50.0 + 10.0, 10.0);   // low fire
+  EXPECT_TRUE(is_process_kind(DriveSegment::Kind::kBatchCycle));
+  EXPECT_FALSE(is_process_kind(DriveSegment::Kind::kStopStart));
+}
+
+TEST(ProcessLoad, ClampedToRatedCapacity) {
+  std::vector<DriveSegment> segments{
+      {DriveSegment::Kind::kSteadyProcess, 10.0, 0.0, 0.0, 900.0}};
+  VehicleParams plant;
+  plant.max_engine_power_kw = 350.0;
+  const DriveCycle cycle = generate_drive_cycle(segments, plant, 0.1, 10);
+  for (double p : cycle.engine_power_kw) EXPECT_LE(p, 350.0);
 }
 
 }  // namespace

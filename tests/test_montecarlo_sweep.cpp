@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/montecarlo.hpp"
 #include "sim/sweep.hpp"
 
@@ -36,6 +38,24 @@ TEST(MonteCarlo, AggregatesAcrossSeeds) {
   // The reconfiguration gain must be positive on average across drives.
   EXPECT_GT(summary.gain.mean(), 0.0);
   EXPECT_GT(summary.dnor_energy_j.min(), 0.0);
+}
+
+TEST(MonteCarlo, NanGainSampleLeftOutOfAggregate) {
+  // A zero-harvest baseline makes a seed's gain NaN (undefined, not 0).
+  // That sample must not poison the statistics of every valid seed — it
+  // simply reduces gain.count().  Energies always aggregate.
+  MonteCarloSummary summary;
+  summary.samples.resize(3);
+  summary.samples[0].gain = 0.5;
+  summary.samples[0].dnor_energy_j = 10.0;
+  summary.samples[1].gain = std::numeric_limits<double>::quiet_NaN();
+  summary.samples[1].dnor_energy_j = 11.0;
+  summary.samples[2].gain = 0.7;
+  summary.samples[2].dnor_energy_j = 12.0;
+  detail::fold_monte_carlo_stats(summary);
+  EXPECT_EQ(summary.gain.count(), 2u);
+  EXPECT_DOUBLE_EQ(summary.gain.mean(), 0.6);
+  EXPECT_EQ(summary.dnor_energy_j.count(), 3u);
 }
 
 TEST(MonteCarlo, DistinctSeedsGiveDistinctSamples) {

@@ -1,0 +1,110 @@
+// Documented spec examples must stay true: every spec file under
+// examples/specs/ and every ```ini fenced block in docs/spec_format.md is
+// dry-parsed through ExperimentSpec::from_text, so renaming or removing a
+// key in the parser breaks CI instead of silently stranding the docs.
+//
+// TEGREC_SOURCE_DIR is injected by CMake for this test only.
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/spec.hpp"
+
+#ifndef TEGREC_SOURCE_DIR
+#error "test_spec_docs needs TEGREC_SOURCE_DIR (see CMakeLists.txt)"
+#endif
+
+namespace tegrec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return buffer.str();
+}
+
+/// Contents of every ```ini fenced block in a markdown file, in order.
+std::vector<std::string> fenced_ini_blocks(const std::string& markdown) {
+  std::vector<std::string> blocks;
+  std::istringstream is(markdown);
+  std::string line;
+  bool in_block = false;
+  std::string current;
+  while (std::getline(is, line)) {
+    if (!in_block && line.rfind("```ini", 0) == 0) {
+      in_block = true;
+      current.clear();
+      continue;
+    }
+    if (in_block && line.rfind("```", 0) == 0) {
+      in_block = false;
+      blocks.push_back(current);
+      continue;
+    }
+    if (in_block) current += line + "\n";
+  }
+  return blocks;
+}
+
+TEST(SpecDocs, EveryExampleSpecFileParses) {
+  const fs::path dir = fs::path(TEGREC_SOURCE_DIR) / "examples" / "specs";
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".spec") {
+      continue;
+    }
+    ++count;
+    SCOPED_TRACE(entry.path().string());
+    sim::ExperimentSpec spec;
+    ASSERT_NO_THROW(spec = sim::ExperimentSpec::from_file(
+                        entry.path().string()));
+    // Each example must also survive the canonical round trip — a spec
+    // that parses but re-serialises differently would defeat caching.
+    const std::string canonical = spec.canonical_text();
+    const sim::ExperimentSpec back = sim::ExperimentSpec::from_text(canonical);
+    EXPECT_EQ(back.canonical_text(), canonical);
+    EXPECT_EQ(back.fingerprint_text(), spec.fingerprint_text());
+  }
+  // The batch smoke test and this one must never silently run over an
+  // emptied directory.
+  EXPECT_GE(count, 5u);
+}
+
+TEST(SpecDocs, EveryFencedSpecBlockInSpecFormatDocParses) {
+  const fs::path doc =
+      fs::path(TEGREC_SOURCE_DIR) / "docs" / "spec_format.md";
+  ASSERT_TRUE(fs::is_regular_file(doc)) << doc;
+  const std::vector<std::string> blocks = fenced_ini_blocks(read_file(doc));
+  // If extraction ever breaks (fence dialect change), fail loudly instead
+  // of vacuously passing.
+  ASSERT_GE(blocks.size(), 4u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    SCOPED_TRACE("spec_format.md fenced block #" + std::to_string(i));
+    EXPECT_NO_THROW(sim::ExperimentSpec::from_text(blocks[i]));
+  }
+}
+
+TEST(SpecDocs, ReadmeSpecSnippetParses) {
+  // README's "Spec files and batch" section carries one ```ini example of
+  // its own; keep it honest too.
+  const fs::path readme = fs::path(TEGREC_SOURCE_DIR) / "README.md";
+  ASSERT_TRUE(fs::is_regular_file(readme)) << readme;
+  const std::vector<std::string> blocks =
+      fenced_ini_blocks(read_file(readme));
+  ASSERT_GE(blocks.size(), 1u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    SCOPED_TRACE("README.md fenced block #" + std::to_string(i));
+    EXPECT_NO_THROW(sim::ExperimentSpec::from_text(blocks[i]));
+  }
+}
+
+}  // namespace
+}  // namespace tegrec

@@ -173,6 +173,53 @@ TEST(TemperatureTraceLoadCsv, NonZeroStartTimeAccepted) {
   std::remove(path.c_str());
 }
 
+TEST(TemperatureTraceLoadCsv, TruncatedRowRejectedWithLineNumber) {
+  // A real log cut off mid-write: the last line still has the right comma
+  // count, but its tail cells are empty.  Empty CSV cells parse as NaN (the
+  // bench writers' unmeasured-value convention), and the old loader
+  // imported them as NaN temperatures without a whisper — poisoning every
+  // simulation downstream.  It must throw, naming the offending line.
+  const std::string path = write_temp_csv(
+      "tegrec_truncated_log.csv",
+      "time_s,ambient_c,t0,t1,t2\n"
+      "0.0,24.8,81.2,79.9,76.4\n"
+      "0.5,24.8,81.3,80.1,76.6\n"
+      "1.0,24.9,81.5,,\n");  // writer died after t0
+  try {
+    TemperatureTrace::load_csv(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("t1"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, ShortRowRejectedWithLineNumber) {
+  // Truncation that drops whole cells changes the row width; the CSV layer
+  // itself must point at the line.
+  const std::string path = write_temp_csv(
+      "tegrec_short_row.csv",
+      "time_s,ambient_c,t0,t1\n0.0,25,50,40\n0.5,25,51\n");
+  try {
+    TemperatureTrace::load_csv(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TemperatureTraceLoadCsv, BlankAmbientCellRejected) {
+  const std::string path = write_temp_csv(
+      "tegrec_blank_ambient.csv",
+      "time_s,ambient_c,t0\n0.0,25,50\n0.5,,51\n");
+  EXPECT_THROW(TemperatureTrace::load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(GenerateTrace, NonIntegralSampleRatioThrows) {
   // 0.25 s samples from a 0.1 s sim step would round to a stride of 2 or
   // 3 — a silently different rate than requested.

@@ -1,25 +1,30 @@
 // tegrec_cli — command-line front end for the library.
 //
-//   tegrec_cli trace      --out trace.csv [--seed S] [--modules N]
-//                         [--duration T]
-//   tegrec_cli simulate   [--trace F | --spec F]
+//   tegrec_cli scenarios
+//   tegrec_cli trace      --out trace.csv [--scenario NAME] [--seed S]
+//                         [--modules N] [--duration T]
+//   tegrec_cli simulate   [--trace F | --spec F | --scenario NAME]
 //                         [--scheme dnor|inor|ehtr|baseline|all]
 //                         [--threads W] [--max-groups G] [--cache DIR]
 //   tegrec_cli predict    --trace trace.csv [--method mlr|bpnn|svr|holt]
 //                         [--horizon H]
-//   tegrec_cli montecarlo [--seeds K] [--first-seed S] [--modules N]
-//                         [--duration T] [--threads W] [--cache DIR]
+//   tegrec_cli montecarlo [--scenario NAME] [--seeds K] [--first-seed S]
+//                         [--modules N] [--duration T] [--threads W]
+//                         [--cache DIR]
 //   tegrec_cli batch      --specs <dir-or-file> [--jobs J] [--cache DIR]
 //                         [--json]
 //
-// `trace` synthesises a drive and writes the per-module temperature CSV;
-// `simulate` replays a trace (CSV, spec file, or the built-in default)
-// through the chosen controller(s) and prints the Table-I style summary;
-// `predict` scores a predictor on the CSV; `montecarlo` runs the multi-core
-// DNOR-vs-baseline study across seeds; `batch` runs a whole directory of
-// ExperimentSpec files concurrently through one ExperimentService, with
-// per-job progress on stderr and a machine-readable summary (--json) on
-// stdout.
+// `scenarios` lists the named workload library (thermal/scenario.hpp);
+// `trace` synthesises a workload and writes the per-module temperature CSV;
+// `simulate` replays a trace (CSV, spec file, named scenario, or the
+// built-in default) through the chosen controller(s) and prints the Table-I
+// style summary; `predict` scores a predictor on the CSV; `montecarlo` runs
+// the multi-core DNOR-vs-baseline study across seeds; `batch` runs a whole
+// directory of ExperimentSpec files concurrently through one
+// ExperimentService, with per-job progress on stderr and a machine-readable
+// summary (--json) on stdout.  Anywhere a `--scenario` is accepted the
+// resulting spec carries the scenario name into its canonical text, so
+// repeated runs of the same scenario are cache hits.
 //
 // Flag values are parsed with util::parse — a non-numeric or trailing-junk
 // value (`--seeds abc`, `--duration 10x`) is an error, never a silent zero —
@@ -56,6 +61,7 @@
 #include "sim/results.hpp"
 #include "sim/service.hpp"
 #include "sim/spec.hpp"
+#include "thermal/scenario.hpp"
 #include "thermal/trace.hpp"
 #include "util/json.hpp"
 #include "util/parse.hpp"
@@ -153,12 +159,33 @@ sim::ServiceOptions service_options(const FlagMap& flags,
 
 // --------------------------------------------------------------- commands
 
+int cmd_scenarios(const FlagMap&) {
+  util::TextTable table({"scenario", "description"});
+  for (const auto& info : thermal::scenario_catalog()) {
+    table.begin_row().add(info.name).add(info.description);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("use with: tegrec_cli simulate|trace|montecarlo --scenario "
+              "NAME, or `trace.scenario = NAME` in a spec file\n");
+  return 0;
+}
+
 int cmd_trace(const FlagMap& flags) {
   thermal::TraceGeneratorConfig config;
-  config.seed = flag_u64(flags, "seed", 2018);
-  config.layout.num_modules = flag_size(flags, "modules", 100);
+  const std::string scenario_name = flag_or(flags, "scenario", "");
+  if (!scenario_name.empty()) {
+    config = thermal::scenario(scenario_name);
+    if (flags.count("duration")) {
+      throw std::invalid_argument(
+          "--duration scales the default cycle; a --scenario fixes its own "
+          "schedule");
+    }
+  }
+  config.seed = flag_u64(flags, "seed", config.seed);
+  config.layout.num_modules =
+      flag_size(flags, "modules", config.layout.num_modules);
   const double duration = positive_duration(flags, 800.0);
-  if (duration != 800.0) {
+  if (scenario_name.empty() && duration != 800.0) {
     // Scale the default cycle's segments proportionally.
     auto segments = thermal::default_porter_cycle();
     for (auto& s : segments) s.duration_s *= duration / 800.0;
@@ -176,8 +203,13 @@ int cmd_simulate(const FlagMap& flags) {
   sim::ExperimentSpec spec;
   const std::string spec_path = flag_or(flags, "spec", "");
   const std::string trace_path = flag_or(flags, "trace", "");
-  if (!spec_path.empty() && !trace_path.empty()) {
-    throw std::invalid_argument("--spec and --trace are mutually exclusive");
+  const std::string scenario_name = flag_or(flags, "scenario", "");
+  if (static_cast<int>(!spec_path.empty()) +
+          static_cast<int>(!trace_path.empty()) +
+          static_cast<int>(!scenario_name.empty()) >
+      1) {
+    throw std::invalid_argument(
+        "--spec, --trace and --scenario are mutually exclusive");
   }
   if (!spec_path.empty()) {
     spec = sim::ExperimentSpec::from_file(spec_path);
@@ -188,6 +220,8 @@ int cmd_simulate(const FlagMap& flags) {
   } else if (!trace_path.empty()) {
     spec.trace.kind = sim::TraceSource::Kind::kCsvFile;
     spec.trace.csv_path = trace_path;
+  } else if (!scenario_name.empty()) {
+    spec.trace = sim::scenario_source(scenario_name);
   }  // else: the default generated trace (TraceGeneratorConfig defaults)
 
   spec.kind = sim::ExperimentKind::kComparison;
@@ -262,13 +296,25 @@ int cmd_predict(const FlagMap& flags) {
 int cmd_montecarlo(const FlagMap& flags) {
   sim::ExperimentSpec spec;
   spec.kind = sim::ExperimentKind::kMonteCarlo;
-  spec.trace.generator.seed = 0;  // immaterial: the engine re-seeds per sample
-  spec.trace.generator.layout.num_modules = flag_size(flags, "modules", 100);
-  const double duration = positive_duration(flags, 200.0);
-  // Short mixed slice per seed, urban then cruise, scaled to --duration.
-  spec.trace.generator.segments = {
-      {thermal::DriveSegment::Kind::kUrban, duration / 2.0, 32.0, 0.0},
-      {thermal::DriveSegment::Kind::kCruise, duration / 2.0, 70.0, 0.0}};
+  const std::string scenario_name = flag_or(flags, "scenario", "");
+  if (!scenario_name.empty()) {
+    if (flags.count("duration")) {
+      throw std::invalid_argument(
+          "--duration shapes the built-in study; a --scenario fixes its own "
+          "schedule");
+    }
+    spec.trace = sim::scenario_source(scenario_name);
+    spec.trace.generator.layout.num_modules =
+        flag_size(flags, "modules", spec.trace.generator.layout.num_modules);
+  } else {
+    spec.trace.generator.seed = 0;  // immaterial: the engine re-seeds per sample
+    spec.trace.generator.layout.num_modules = flag_size(flags, "modules", 100);
+    const double duration = positive_duration(flags, 200.0);
+    // Short mixed slice per seed, urban then cruise, scaled to --duration.
+    spec.trace.generator.segments = {
+        {thermal::DriveSegment::Kind::kUrban, duration / 2.0, 32.0, 0.0},
+        {thermal::DriveSegment::Kind::kCruise, duration / 2.0, 70.0, 0.0}};
+  }
   spec.comparison.include_inor = false;
   spec.comparison.include_ehtr = false;
   spec.mc_num_seeds = flag_size(flags, "seeds", 10);
@@ -288,11 +334,25 @@ int cmd_montecarlo(const FlagMap& flags) {
         .add(100.0 * s.gain, 1);
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("gain over %zu drives: mean %.1f %%, sd %.1f %%, "
-              "range [%.1f, %.1f] %%\n",
-              summary.samples.size(), 100.0 * summary.gain.mean(),
-              100.0 * summary.gain.stddev(), 100.0 * summary.gain.min(),
-              100.0 * summary.gain.max());
+  // Seeds whose fixed baseline harvested nothing have no defined gain
+  // (their rows read "nan"); they are left out of the aggregate rather
+  // than folded in as zeros.
+  const std::size_t defined = summary.gain.count();
+  if (defined == 0) {
+    std::printf("gain over %zu drives: undefined (baseline harvested 0 J "
+                "on every seed)\n",
+                summary.samples.size());
+  } else {
+    std::string qualifier;
+    if (defined != summary.samples.size()) {
+      qualifier = " (" + std::to_string(defined) + " with defined gain)";
+    }
+    std::printf("gain over %zu drives%s: mean %.1f %%, sd %.1f %%, "
+                "range [%.1f, %.1f] %%\n",
+                summary.samples.size(), qualifier.c_str(),
+                100.0 * summary.gain.mean(), 100.0 * summary.gain.stddev(),
+                100.0 * summary.gain.min(), 100.0 * summary.gain.max());
+  }
   std::fprintf(stderr, "[job %s: %s]\n", job.fingerprint().c_str(),
                job.from_cache() ? "cache hit" : "executed");
   return 0;
@@ -316,7 +376,18 @@ const char* kind_name(sim::ExperimentKind kind) {
 }
 
 util::json::Value stats_json(const util::RunningStats& stats) {
-  return util::json::Object{{"mean", json_num(stats.mean())},
+  // An empty statistic (e.g. every seed's gain was undefined) must read as
+  // null, not as RunningStats' 0.0 defaults — a machine consumer would
+  // take those for a measured zero.
+  if (stats.count() == 0) {
+    return util::json::Object{{"count", 0},
+                              {"mean", util::json::Value()},
+                              {"stddev", util::json::Value()},
+                              {"min", util::json::Value()},
+                              {"max", util::json::Value()}};
+  }
+  return util::json::Object{{"count", stats.count()},
+                            {"mean", json_num(stats.mean())},
                             {"stddev", json_num(stats.stddev())},
                             {"min", json_num(stats.min())},
                             {"max", json_num(stats.max())}};
@@ -501,17 +572,20 @@ int cmd_batch(const FlagMap& flags) {
 void usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  tegrec_cli trace    [--out F] [--seed S] [--modules N] "
-               "[--duration T]\n"
-               "  tegrec_cli simulate [--trace F | --spec F] [--scheme dnor|"
-               "inor|ehtr|baseline|all]\n"
+               "  tegrec_cli scenarios\n"
+               "  tegrec_cli trace    [--out F] [--scenario NAME] [--seed S] "
+               "[--modules N] [--duration T]\n"
+               "  tegrec_cli simulate [--trace F | --spec F | --scenario NAME]"
+               "\n"
+               "                      [--scheme dnor|inor|ehtr|baseline|all]\n"
                "                      [--threads W] [--max-groups G] "
                "[--cache DIR]\n"
                "  tegrec_cli predict  [--trace F] [--method mlr|bpnn|svr|holt] "
                "[--horizon H]\n"
-               "  tegrec_cli montecarlo [--seeds K] [--first-seed S] "
-               "[--modules N] [--duration T]\n"
-               "                      [--threads W] [--cache DIR]\n"
+               "  tegrec_cli montecarlo [--scenario NAME] [--seeds K] "
+               "[--first-seed S]\n"
+               "                      [--modules N] [--duration T] "
+               "[--threads W] [--cache DIR]\n"
                "  tegrec_cli batch    --specs DIR-or-FILE [--jobs J] "
                "[--cache DIR] [--json]\n");
 }
@@ -525,14 +599,17 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    if (command == "scenarios") {
+      return cmd_scenarios(parse_flags(argc, argv, 2, {}));
+    }
     if (command == "trace") {
-      return cmd_trace(parse_flags(argc, argv, 2,
-                                   {"out", "seed", "modules", "duration"}));
+      return cmd_trace(parse_flags(
+          argc, argv, 2, {"out", "scenario", "seed", "modules", "duration"}));
     }
     if (command == "simulate") {
-      return cmd_simulate(parse_flags(
-          argc, argv, 2,
-          {"trace", "spec", "scheme", "threads", "max-groups", "cache"}));
+      return cmd_simulate(parse_flags(argc, argv, 2,
+                                      {"trace", "spec", "scenario", "scheme",
+                                       "threads", "max-groups", "cache"}));
     }
     if (command == "predict") {
       return cmd_predict(parse_flags(argc, argv, 2,
@@ -540,8 +617,9 @@ int main(int argc, char** argv) {
     }
     if (command == "montecarlo") {
       return cmd_montecarlo(parse_flags(argc, argv, 2,
-                                        {"seeds", "first-seed", "modules",
-                                         "duration", "threads", "cache"}));
+                                        {"scenario", "seeds", "first-seed",
+                                         "modules", "duration", "threads",
+                                         "cache"}));
     }
     if (command == "batch") {
       return cmd_batch(parse_flags(argc, argv, 2, {"specs", "jobs", "cache"},

@@ -1,11 +1,11 @@
 #include "core/dnor.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/objective.hpp"
+#include "util/runtime_clock.hpp"
 
 namespace tegrec::core {
 
@@ -73,7 +73,7 @@ UpdateResult DnorReconfigurer::update(double time_s,
     return result;  // hold between decisions
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const util::MonotonicTimer timer;
   const teg::TegArray array(device_, delta_t_k, ambient_c);
   teg::ArrayConfig c_new = inor_search(array, converter_, params_.inor);
   ++decisions_;
@@ -102,8 +102,7 @@ UpdateResult DnorReconfigurer::update(double time_s,
     adopt = false;  // identical configuration: nothing to actuate
   }
 
-  result.compute_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.compute_time_s = timer.seconds();
   result.invoked = true;
   if (adopt) {
     result.switched = !has_config_ || c_new != current_;

@@ -1,7 +1,6 @@
 #include "core/ehtr.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -11,6 +10,7 @@
 #include "core/objective.hpp"
 #include "teg/array_evaluator.hpp"
 #include "util/parallel.hpp"
+#include "util/runtime_clock.hpp"
 
 namespace tegrec::core {
 
@@ -229,13 +229,12 @@ UpdateResult EhtrReconfigurer::update(double time_s,
     result.config = current_;
     return result;
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const util::MonotonicTimer timer;
   const teg::TegArray array(device_, delta_t_k, ambient_c);
   teg::ArrayConfig next = ehtr_search(array, converter_, num_threads_,
                                       PartitionDp::kDivideAndConquer,
                                       max_groups_);
-  result.compute_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.compute_time_s = timer.seconds();
   result.invoked = true;
   result.switched = !has_config_ || next != current_;
   result.actuate = true;  // periodic scheme: rebuild on every invocation

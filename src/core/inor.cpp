@@ -1,10 +1,10 @@
 #include "core/inor.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/objective.hpp"
+#include "util/runtime_clock.hpp"
 
 namespace tegrec::core {
 
@@ -93,11 +93,10 @@ UpdateResult InorReconfigurer::update(double time_s,
     result.config = current_;
     return result;  // between periods: hold
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const util::MonotonicTimer timer;
   const teg::TegArray array(device_, delta_t_k, ambient_c);
   teg::ArrayConfig next = inor_search(array, converter_, options_);
-  result.compute_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.compute_time_s = timer.seconds();
   result.invoked = true;
   result.switched = !has_config_ || next != current_;
   result.actuate = true;  // periodic scheme: rebuild on every invocation

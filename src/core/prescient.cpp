@@ -1,10 +1,10 @@
 #include "core/prescient.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
 
 #include "core/objective.hpp"
+#include "util/runtime_clock.hpp"
 
 namespace tegrec::core {
 
@@ -51,7 +51,7 @@ UpdateResult PrescientReconfigurer::update(double time_s,
     result.config = current_;
     return result;
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const util::MonotonicTimer timer;
   const teg::TegArray array(device_, delta_t_k, ambient_c);
   teg::ArrayConfig c_new = inor_search(array, converter_, params_.inor);
 
@@ -68,8 +68,7 @@ UpdateResult PrescientReconfigurer::update(double time_s,
     adopt = false;
   }
 
-  result.compute_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.compute_time_s = timer.seconds();
   result.invoked = true;
   if (adopt) {
     result.switched = !has_config_ || c_new != current_;

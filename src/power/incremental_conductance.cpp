@@ -6,6 +6,14 @@
 
 namespace tegrec::power {
 
+namespace {
+
+/// Voltage increments below this are measurement-noise-level on the
+/// simulated divider and cannot define a finite dI/dV slope.
+constexpr double kMinVoltageStepV = 1e-12;
+
+}  // namespace
+
 IncrementalConductanceTracker::IncrementalConductanceTracker(double step_a,
                                                              double tolerance)
     : step_a_(step_a), tolerance_(tolerance) {
@@ -32,7 +40,7 @@ OperatingPoint IncrementalConductanceTracker::step(
   pt.output_power_w = converter.output_power_w(pt.voltage_v, pt.array_power_w);
 
   double direction = 0.0;
-  if (!primed_ || std::abs(pt.voltage_v - prev_voltage_v_) < 1e-12) {
+  if (!primed_ || std::abs(pt.voltage_v - prev_voltage_v_) < kMinVoltageStepV) {
     // No voltage increment to measure yet: nudge upward to prime dV.
     direction = pt.voltage_v > 0.0 ? 1.0 : -1.0;
     primed_ = true;

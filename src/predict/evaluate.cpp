@@ -1,18 +1,11 @@
 #include "predict/evaluate.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
+#include "util/runtime_clock.hpp"
 #include "util/stats.hpp"
 
 namespace tegrec::predict {
-
-namespace {
-double elapsed_ms(std::chrono::steady_clock::time_point t0) {
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  return std::chrono::duration<double, std::milli>(dt).count();
-}
-}  // namespace
 
 EvaluationResult evaluate_online(Predictor& predictor,
                                  const thermal::TemperatureTrace& trace,
@@ -41,16 +34,16 @@ EvaluationResult evaluate_online(Predictor& predictor,
     if (t < start_step || history.size() < options.window) continue;
 
     if (steps_since_fit >= options.refit_every) {
-      const auto t0 = std::chrono::steady_clock::now();
+      const util::MonotonicTimer fit_timer;
       predictor.fit(history);
-      fit_ms.add(elapsed_ms(t0));
+      fit_ms.add(fit_timer.milliseconds());
       steps_since_fit = 0;
     }
     ++steps_since_fit;
 
-    const auto t1 = std::chrono::steady_clock::now();
+    const util::MonotonicTimer predict_timer;
     const auto forecast = predictor.predict_horizon(history, options.horizon_steps);
-    predict_ms.add(elapsed_ms(t1));
+    predict_ms.add(predict_timer.milliseconds());
 
     const std::vector<double> actual =
         trace.step_temperatures(t + options.horizon_steps);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/float_cmp.hpp"
 #include "util/parse.hpp"
 
 namespace tegrec::sim {
@@ -136,8 +137,9 @@ SimulationResult decode_run(LineReader& reader) {
     s.gross_power_w = cell(steps, i, "gross_power_w");
     s.net_power_w = cell(steps, i, "net_power_w");
     s.ideal_power_w = cell(steps, i, "ideal_power_w");
-    s.invoked = cell(steps, i, "invoked") != 0.0;
-    s.switched = cell(steps, i, "switched") != 0.0;
+    // 0/1 flags round-tripped at exact precision: bit-value compare.
+    s.invoked = !util::is_exactly_zero(cell(steps, i, "invoked"));
+    s.switched = !util::is_exactly_zero(cell(steps, i, "switched"));
     s.switch_actuations =
         static_cast<std::size_t>(cell(steps, i, "switch_actuations"));
     s.overhead_energy_j = cell(steps, i, "overhead_energy_j");

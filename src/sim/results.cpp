@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/float_cmp.hpp"
 #include "util/table.hpp"
 
 namespace tegrec::sim {
@@ -16,7 +17,9 @@ std::string render_table1(const std::vector<SimulationResult>& runs) {
   for (const auto& r : runs) table.add(r.energy_output_j, 1);
   table.begin_row().add("Switch Overhead (J)");
   for (const auto& r : runs) {
-    if (r.num_switch_events == 0 && r.switch_overhead_j == 0.0 &&
+    // A never-written accumulator is an exact 0.0, not a small value.
+    if (r.num_switch_events == 0 &&
+        util::is_exactly_zero(r.switch_overhead_j) &&
         r.num_invocations == 0) {
       table.add(std::string("/"));  // baseline: no reconfiguration at all
     } else {

@@ -410,6 +410,10 @@ std::size_t ExperimentService::coalesced() const {
 ExperimentService& ExperimentService::shared() {
   static ExperimentService service([] {
     ServiceOptions options;
+    // getenv is not thread-safe against setenv, but these reads happen
+    // once, under the static-local initialisation guard, before any
+    // worker thread exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* dir = std::getenv("TEGREC_CACHE_DIR")) {
       options.cache_dir = dir;
     }
@@ -417,6 +421,7 @@ ExperimentService& ExperimentService::shared() {
     // running process iterating distinct configs retains up to this many
     // full results; TEGREC_CACHE_ENTRIES trims (or 0 disables) the LRU
     // when that footprint matters more than hit rate.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- see above
     if (const char* entries = std::getenv("TEGREC_CACHE_ENTRIES")) {
       try {
         options.memory_cache_entries =

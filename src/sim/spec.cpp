@@ -167,7 +167,7 @@ class FieldIo {
   /// empty", which for most fields is a parse error downstream anyway but
   /// for strings would silently alias the default.
   bool present(const std::string& key) const {
-    return values_.count(prefix_ + key) != 0;
+    return values_.contains(prefix_ + key);
   }
 
   std::string take_text() { return std::move(text_); }

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/float_cmp.hpp"
+
 namespace tegrec::thermal {
 
 double crossflow_effectiveness(double ntu, double cr) {
   if (ntu < 0.0) throw std::invalid_argument("effectiveness: NTU < 0");
   if (cr < 0.0 || cr > 1.0) throw std::invalid_argument("effectiveness: Cr out of [0,1]");
-  if (ntu == 0.0) return 0.0;
+  if (util::is_exactly_zero(ntu)) return 0.0;  // exact degenerate case
   if (cr < 1e-12) return 1.0 - std::exp(-ntu);
   const double n022 = std::pow(ntu, 0.22);
   const double inner = std::exp(-cr * std::pow(ntu, 0.78)) - 1.0;

@@ -187,10 +187,11 @@ TemperatureTrace generate_trace(const TraceGeneratorConfig& config) {
   // The sampler walks the simulation grid with an integer stride; rounding
   // a non-integral ratio would silently resample at a different rate than
   // requested (e.g. 0.25 s asked, 0.2 s delivered from a 0.1 s sim step).
+  constexpr double kStrideRoundoffTolerance = 1e-6;  // relative, ppm scale
   const double ratio = config.sample_dt_s / config.sim_dt_s;
   const auto stride = static_cast<std::size_t>(std::llround(ratio));
-  if (stride < 1 ||
-      std::abs(ratio - static_cast<double>(stride)) > 1e-6 * ratio) {
+  if (stride < 1 || std::abs(ratio - static_cast<double>(stride)) >
+                        kStrideRoundoffTolerance * ratio) {
     throw std::invalid_argument(
         "generate_trace: sample_dt must be an integer multiple of sim_dt");
   }

@@ -1,0 +1,42 @@
+// Named floating-point comparisons.
+//
+// Raw ==/!= between floating-point expressions is the repo's third
+// historical bug class (PR 5's dnor_gain_over_baseline originally
+// returned a misleading exact 0.0 where NaN was meant): sometimes an
+// exact comparison is correct — 0/1 flags round-tripped through CSV,
+// exact-zero sparsity guards, values copied rather than computed — but
+// the reader cannot tell intent from an `==` token, and neither can a
+// scanner.  These helpers give each legitimate idiom a name, and
+// tegrec_lint's `float-eq` rule bans the raw literal-comparison form
+// everywhere else (suppressible per line with
+// `// tegrec-lint: allow(float-eq)` where a helper genuinely cannot
+// express the intent).
+#pragma once
+
+#include <cmath>
+
+namespace tegrec::util {
+
+/// Bit-value equality of two doubles, on purpose: for idempotence checks
+/// and values that were *copied or decoded*, never arithmetic results.
+/// (NaN != NaN still holds, as IEEE intends.)
+constexpr bool exactly_equal(double a, double b) {
+  return a == b;  // tegrec-lint: allow(float-eq)
+}
+
+/// Exact-zero sentinel guard: true only for +0.0/-0.0.  For values that
+/// are zero by construction (never-written accumulators, 0/1 flags,
+/// skipped matrix entries), not for "small".
+constexpr bool is_exactly_zero(double x) {
+  return x == 0.0;  // tegrec-lint: allow(float-eq)
+}
+
+/// Tolerance comparison with an explicit, caller-named tolerance.  The
+/// `float-tol` lint rule rejects |a-b| compared against bare literals, so
+/// call sites read `near(a, b, kSettleToleranceV)` — the constant's name
+/// carries the justification.
+inline bool near(double a, double b, double tolerance) {
+  return std::abs(a - b) <= tolerance;
+}
+
+}  // namespace tegrec::util

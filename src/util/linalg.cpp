@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/float_cmp.hpp"
+
 namespace tegrec::util {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -52,7 +54,7 @@ Matrix Matrix::operator*(const Matrix& other) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = data_[r * cols_ + k];
-      if (a == 0.0) continue;
+      if (is_exactly_zero(a)) continue;  // exact sparsity skip
       for (std::size_t c = 0; c < other.cols_; ++c) {
         out.data_[r * other.cols_ + c] += a * other.data_[k * other.cols_ + c];
       }
@@ -216,14 +218,14 @@ std::vector<double> qr_least_squares(const Matrix& a, const std::vector<double>&
     double sigma = 0.0;
     for (std::size_t i = k; i < m; ++i) sigma += r(i, k) * r(i, k);
     sigma = std::sqrt(sigma);
-    if (sigma == 0.0) continue;
+    if (is_exactly_zero(sigma)) continue;
     if (r(k, k) > 0) sigma = -sigma;
     std::vector<double> v(m, 0.0);
     for (std::size_t i = k; i < m; ++i) v[i] = r(i, k);
     v[k] -= sigma;
     double vnorm2 = 0.0;
     for (std::size_t i = k; i < m; ++i) vnorm2 += v[i] * v[i];
-    if (vnorm2 == 0.0) continue;
+    if (is_exactly_zero(vnorm2)) continue;
     for (std::size_t c = k; c < n; ++c) {
       double proj = 0.0;
       for (std::size_t i = k; i < m; ++i) proj += v[i] * r(i, c);

@@ -1,0 +1,40 @@
+// The library's one sanctioned wall-clock access point.
+//
+// PR 1 fixed a real nondeterminism bug: switching overhead was charged
+// from *measured* wall-clock compute time, so simulated energies varied
+// run to run.  The fix split the two roles — deterministic
+// OverheadParams::compute_budget_s is what enters the physics, measured
+// time only ever feeds runtime *statistics* (Table I's "Average Runtime"
+// column).  tegrec_lint's `determinism` rule now enforces that split
+// mechanically: std::chrono clocks are banned in the simulation layers
+// (src/core, src/teg, src/sim, src/thermal, src/power, src/predict), and
+// runtime-stats measurement flows through this wrapper instead.  src/util
+// is the rule's allowlist, so this header is the only door; anything a
+// MonotonicTimer measures must stay out of simulated quantities.
+#pragma once
+
+#include <chrono>
+
+namespace tegrec::util {
+
+/// Monotonic stopwatch for runtime statistics.  Starts at construction.
+class MonotonicTimer {
+ public:
+  MonotonicTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart [s].
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/restart [ms].
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tegrec::util

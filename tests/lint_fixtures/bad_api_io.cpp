@@ -1,0 +1,13 @@
+// Known-bad fixture for `api-io`.  Never compiled.
+// Line numbers are asserted by tests/test_lint.cpp — edit with care.
+#include <cstdio>
+#include <iostream>
+
+void report(double value) {
+  std::cout << "value = " << value << "\n";  // LINE 7: api-io
+  printf("value = %f\n", value);             // LINE 8: api-io
+  std::cerr << "warning\n";                  // LINE 9: api-io
+  char buffer[32];
+  snprintf(buffer, sizeof(buffer), "%f", value);  // string formatting: clean
+  (void)buffer;
+}

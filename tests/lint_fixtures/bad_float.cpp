@@ -1,0 +1,17 @@
+// Known-bad fixture for `float-eq` / `float-tol`.  Never compiled.
+// Line numbers are asserted by tests/test_lint.cpp — edit with care.
+#include <cmath>
+
+bool checks(double x, double y, int n, double kNamedTolerance) {
+  const bool a = x == 0.0;                       // LINE 6: float-eq
+  const bool b = 1.5 != y;                       // LINE 7: float-eq
+  const bool c = n == 1;                         // int compare: clean
+  const bool d = std::abs(x - y) < 1e-9;         // LINE 9: float-tol
+  const bool e = std::abs(x - y) < kNamedTolerance;  // named: clean
+  const bool f = std::abs(x - y) <= 0.5;         // LINE 11: float-tol
+  const bool g = std::abs(x) < 1e-9;             // no difference: clean
+  return a || b || c || d || e || f || g;
+}
+
+// Comments talking about 1.0 == 2.0 or steady_clock must never fire.
+const char* kProse = "string mentioning x == 0.0 and printf( stays clean";

@@ -1,0 +1,12 @@
+// Known-bad fixture for `include-guard` (ifndef form) and
+// `using-namespace`.  Never compiled.
+#ifndef TEGREC_TESTS_LINT_FIXTURES_BAD_HEADER_HPP_
+#define TEGREC_TESTS_LINT_FIXTURES_BAD_HEADER_HPP_
+
+#include <vector>
+
+using namespace std;  // LINE 8: using-namespace
+
+inline int twice(int x) { return 2 * x; }
+
+#endif  // TEGREC_TESTS_LINT_FIXTURES_BAD_HEADER_HPP_

@@ -1,0 +1,2 @@
+// Known-bad fixture: a header with no include guard at all.
+inline int thrice(int x) { return 3 * x; }

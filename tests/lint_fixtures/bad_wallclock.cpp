@@ -1,0 +1,18 @@
+// Known-bad fixture for tegrec_lint's `determinism` rule.  Never compiled:
+// the build only globs tests/*.cpp, so this directory is scan-only.
+// Line numbers are asserted by tests/test_lint.cpp — edit with care.
+#include <chrono>
+#include <random>
+
+double measure() {
+  const auto t0 = std::chrono::steady_clock::now();  // LINE 8: steady_clock
+  std::mt19937 gen(42);                              // LINE 9: mt19937
+  (void)gen;
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now() - t0)  // LINE 12: system_clock
+      .count();
+}
+
+int noisy() { return rand(); }  // LINE 16: rand()
+
+double stamp() { return static_cast<double>(time(nullptr)); }  // LINE 18

@@ -1,0 +1,19 @@
+// Fixture bindings for cache_key_config.hpp: serialises every DemoConfig
+// field except `not_serialised_w` (the planted violation) and
+// `debug_label` (the planted exclusion-list entry).  Mentions in comments
+// do not count: not_serialised_w appears right here in prose and the
+// check must still flag it.  Never compiled.
+#include <string>
+
+namespace demo {
+
+std::string canonical_text(int mode, double duration_s,
+                           const double* gains) {
+  std::string text;
+  text += "mode = " + std::to_string(mode) + "\n";
+  text += "duration_s = " + std::to_string(duration_s) + "\n";
+  text += "gains = " + std::to_string(gains[0]) + "\n";
+  return text;
+}
+
+}  // namespace demo

@@ -1,0 +1,26 @@
+// Fixture for the `cache-key` completeness check: a config struct whose
+// field list is cross-checked against cache_key_bindings.cpp.  Never
+// compiled.  Line numbers are asserted by tests/test_lint.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace demo {
+
+/// Forward declaration must not satisfy the body search.
+struct DemoConfig;
+
+struct DemoConfig {
+  enum class Mode { kFast, kSlow };  // nested enum: members are not fields
+  Mode mode = Mode::kFast;               // LINE 16: bound
+  double duration_s = 10.0;              // LINE 17: bound
+  std::vector<double> gains;             // LINE 18: bound
+  double not_serialised_w = 0.0;         // LINE 19: MISSING from bindings
+  std::string debug_label;               // LINE 20: excluded (exec hint)
+  static int counter;                    // static: not a field
+  double duration_minutes() const { return duration_s / 60.0; }
+  bool operator==(const DemoConfig&) const = default;
+};
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Fixture: inline suppressions.  Scanned as if under src/core/, where
+// every rule applies.  Exactly ONE finding is expected (LINE 16): an
+// allow() for the wrong rule must not suppress anything else.
+#include <chrono>
+
+void g(double x) {
+  // Same-line form:
+  auto t0 = std::chrono::steady_clock::now();  // tegrec-lint: allow(determinism)
+  // Preceding comment-only line form:
+  // tegrec-lint: allow(float-eq)
+  const bool z = 1.0 == 2.0;
+  // Multi-rule form:
+  // tegrec-lint: allow(determinism, float-eq)
+  const bool both = (x == 0.5) && (std::chrono::steady_clock::now() == t0);
+  // Wrong rule — the float-eq finding below must survive:
+  const bool leak = x == 3.5;  // tegrec-lint: allow(determinism)
+  (void)t0;
+  (void)z;
+  (void)both;
+  (void)leak;
+}

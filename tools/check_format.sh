@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Check-only clang-format gate over the ratchet manifest
+# (tools/format_manifest.txt).  Never rewrites anything.
+#
+# Usage: tools/check_format.sh
+#
+# Like run_tidy.sh, a missing clang-format binary is a SKIP (exit 0 with
+# a notice): the reference container is gcc-only and CI is the enforcing
+# environment.  Override the binary with CLANG_FORMAT=clang-format-18.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fmt="${CLANG_FORMAT:-clang-format}"
+manifest="$repo_root/tools/format_manifest.txt"
+
+if ! command -v "$fmt" >/dev/null 2>&1; then
+  echo "check_format: '$fmt' not found on PATH — skipping (CI enforces" \
+       "this gate)."
+  exit 0
+fi
+
+cd "$repo_root"
+status=0
+checked=0
+while IFS= read -r line; do
+  file="${line%%#*}"
+  file="$(echo "$file" | xargs)"   # trim
+  [ -z "$file" ] && continue
+  if [ ! -f "$file" ]; then
+    echo "check_format: manifest entry '$file' does not exist" >&2
+    status=1
+    continue
+  fi
+  checked=$((checked + 1))
+  if ! "$fmt" --dry-run --Werror "$file" >/dev/null 2>&1; then
+    echo "check_format: $file is not clang-format clean" >&2
+    "$fmt" --dry-run --Werror "$file" || true
+    status=1
+  fi
+done < "$manifest"
+
+echo "check_format: $checked manifest file(s) checked"
+exit "$status"

@@ -1,0 +1,159 @@
+#include "sim/artifact_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace tegrec::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kArtifactSuffix = ".csv";
+
+struct ArtifactEntry {
+  fs::path path;
+  std::uint64_t size = 0;
+  fs::file_time_type mtime;
+};
+
+/// Lists artifacts (not temp files) in `dir`; missing dir = empty store.
+std::vector<ArtifactEntry> list_artifacts(const std::string& dir) {
+  std::vector<ArtifactEntry> entries;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 ||
+        name.compare(name.size() - 4, 4, kArtifactSuffix) != 0) {
+      continue;
+    }
+    std::error_code entry_ec;
+    const std::uint64_t size = entry.file_size(entry_ec);
+    if (entry_ec) continue;
+    const fs::file_time_type mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) continue;
+    entries.push_back({entry.path(), size, mtime});
+  }
+  return entries;
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(ArtifactStoreOptions options)
+    : options_(std::move(options)) {
+  if (!options_.warn) options_.warn = util::warn_to_stderr;
+  if (options_.faults == nullptr) options_.faults = &util::process_faults();
+}
+
+std::string ArtifactStore::path_for(const std::string& key) const {
+  return options_.dir + "/" + key + kArtifactSuffix;
+}
+
+std::optional<std::string> ArtifactStore::get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = path_for(key);
+  std::optional<std::string> content = util::read_file_if_exists(path);
+  if (content.has_value()) util::touch_file(path);
+  return content;
+}
+
+bool ArtifactStore::put(const std::string& key, const std::string& content) {
+  if (!enabled()) return false;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+
+  util::AtomicWriteOptions write_options;
+  write_options.retry = options_.retry;
+  write_options.fault_site = "artifact";
+  write_options.faults = options_.faults;
+  try {
+    util::atomic_write_file(path_for(key), content, write_options);
+  } catch (const util::AtomicWriteCrash&) {
+    throw;  // models process death; must not be swallowed as degradation
+  } catch (const std::exception& error) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++put_failures_;
+    }
+    warn_once(std::string("artifact store degraded, results not cached: ") +
+              error.what());
+    return false;
+  }
+  if (options_.max_bytes > 0) evict_to_cap();
+  return true;
+}
+
+bool ArtifactStore::remove(const std::string& key) {
+  if (!enabled()) return false;
+  std::error_code ec;
+  return fs::remove(path_for(key), ec);
+}
+
+std::size_t ArtifactStore::maintenance() {
+  if (!enabled()) return 0;
+  std::size_t removed =
+      util::remove_stale_temp_files(options_.dir, options_.temp_max_age_ms);
+  if (options_.max_bytes > 0) removed += evict_to_cap();
+  return removed;
+}
+
+std::uint64_t ArtifactStore::total_bytes() const {
+  if (!enabled()) return 0;
+  std::uint64_t total = 0;
+  for (const ArtifactEntry& entry : list_artifacts(options_.dir)) {
+    total += entry.size;
+  }
+  return total;
+}
+
+std::uint64_t ArtifactStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t ArtifactStore::put_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return put_failures_;
+}
+
+std::size_t ArtifactStore::evict_to_cap() {
+  // Stateless LRU pass: no on-disk index to corrupt.  A crash mid-pass
+  // leaves a smaller, fully consistent store; the next pass resumes.
+  std::vector<ArtifactEntry> entries = list_artifacts(options_.dir);
+  std::uint64_t total = 0;
+  for (const ArtifactEntry& entry : entries) total += entry.size;
+  if (total <= options_.max_bytes) return 0;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const ArtifactEntry& a, const ArtifactEntry& b) {
+              return a.mtime < b.mtime;
+            });
+  std::size_t removed = 0;
+  for (const ArtifactEntry& entry : entries) {
+    if (total <= options_.max_bytes) break;
+    std::error_code ec;
+    if (fs::remove(entry.path, ec)) {
+      total -= entry.size;
+      ++removed;
+    }
+  }
+  if (removed > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    evictions_ += removed;
+  }
+  return removed;
+}
+
+void ArtifactStore::warn_once(const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (warned_) return;
+    warned_ = true;
+  }
+  options_.warn(message);
+}
+
+}  // namespace tegrec::sim

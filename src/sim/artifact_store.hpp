@@ -1,0 +1,114 @@
+// Bounded, self-healing, crash-safe on-disk artifact store.
+//
+// This is the shared result cache behind ExperimentService and the spool
+// farm: one artifact per experiment fingerprint at `<dir>/<key>.csv` (the
+// layout PR 4 introduced, so existing caches keep working).  Three
+// properties distinguish it from the old ad-hoc ofstream code in
+// service.cpp:
+//
+//  * Crash-safe publication.  Every write goes through the sanctioned
+//    atomic door (util::atomic_write_file), so concurrent readers across
+//    processes never observe a torn artifact and a crashed writer leaves
+//    only an ignorable `.tmp-*` orphan, which maintenance() garbage
+//    collects by age.
+//
+//  * Bounded size.  With max_bytes > 0, a stateless LRU eviction pass
+//    (recency = file mtime; get() bumps it) removes oldest artifacts until
+//    the store fits the cap.  The pass holds no on-disk index — it just
+//    lists, sorts, and removes — so a crash mid-eviction leaves a smaller,
+//    still-consistent store and the next pass finishes the job.
+//
+//  * Self-healing.  Readers that find a corrupt artifact (decode_result
+//    returns nullopt) call remove() so the bad bytes are replaced by a
+//    clean miss instead of being re-read forever.
+//
+// Failure policy: a store never fails its caller.  put() that cannot
+// publish (unwritable directory, disk full) warns once through the
+// configured WarnFn and returns false — the experiment result is simply
+// not cached.  This is the graceful-degradation contract ExperimentService
+// relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace tegrec::sim {
+
+struct ArtifactStoreOptions {
+  /// Store directory (created on demand).  Empty disables the store: every
+  /// get() misses and every put() is a no-op returning false.
+  std::string dir;
+  /// Byte cap over all artifacts; 0 = unbounded.
+  std::uint64_t max_bytes = 0;
+  /// Orphaned `.tmp-*` files older than this are garbage collected.
+  std::uint64_t temp_max_age_ms = 60'000;
+  /// Retry policy for artifact publication.
+  util::RetryPolicy retry;
+  /// Injection points "artifact.{write_fail,torn,crash}"; nullptr uses the
+  /// process-wide injector.
+  util::FaultInjector* faults = nullptr;
+  /// Degradation warnings (warn-once).  Defaults to stderr.
+  util::WarnFn warn;
+};
+
+class ArtifactStore {
+ public:
+  /// Disabled store.
+  ArtifactStore() = default;
+
+  explicit ArtifactStore(ArtifactStoreOptions options);
+
+  bool enabled() const { return !options_.dir.empty(); }
+  const std::string& dir() const { return options_.dir; }
+  std::uint64_t max_bytes() const { return options_.max_bytes; }
+
+  /// On-disk path for `key` (defined even when key is absent).
+  std::string path_for(const std::string& key) const;
+
+  /// Raw artifact bytes, or nullopt on miss/unreadable.  A hit bumps the
+  /// artifact's mtime, making it most-recently-used for eviction.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Atomically publishes `content` under `key`, then evicts to the byte
+  /// cap.  Returns whether the artifact landed; failure warns once and
+  /// degrades (never throws for I/O errors).  A crash fault
+  /// (util::AtomicWriteCrash) does propagate — it models process death.
+  bool put(const std::string& key, const std::string& content);
+
+  /// Deletes `key`'s artifact (reader-detected corruption).  Returns
+  /// whether a file was removed.
+  bool remove(const std::string& key);
+
+  /// Maintenance pass: GC aged `.tmp-*` orphans, then evict to the byte
+  /// cap.  Safe to run concurrently with readers/writers in any process.
+  /// Returns the number of files removed.
+  std::size_t maintenance();
+
+  /// Sum of artifact sizes currently on disk (excludes temp files).
+  std::uint64_t total_bytes() const;
+
+  /// Artifacts evicted by this store instance (for tests/stats).
+  std::uint64_t evictions() const;
+  /// put() calls that failed and degraded (for tests/stats).
+  std::uint64_t put_failures() const;
+
+ private:
+  /// Removes oldest artifacts until the store fits max_bytes.
+  std::size_t evict_to_cap();
+  void warn_once(const std::string& message);
+
+  ArtifactStoreOptions options_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t put_failures_ = 0;
+  bool warned_ = false;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace tegrec::sim

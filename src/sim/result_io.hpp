@@ -10,6 +10,13 @@
 // disk-cache hit is bit-identical to the execution that produced it.
 // Monte-Carlo summary statistics are not stored: they are refolded from
 // the samples on load through the same seed-order fold the engine uses.
+//
+// Artifacts in this format are published exclusively through the
+// ArtifactStore, whose writes go through the atomic
+// temp+fsync+rename door (util/atomic_file.hpp) — a reader can never
+// observe a torn artifact, and decode_result()'s nullopt on truncation is
+// a defence for stores written by older builds or damaged media, with the
+// store removing such artifacts on detection (self-healing).
 #pragma once
 
 #include <optional>

@@ -3,15 +3,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <list>
 #include <mutex>
-#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "sim/artifact_store.hpp"
 #include "sim/result_io.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/parallel.hpp"
@@ -113,6 +111,9 @@ struct ExperimentService::State {
 
   util::BoundedQueue<std::shared_ptr<detail::Job>> queue;
   std::unique_ptr<util::ThreadPool> pool;
+  /// Crash-safe bounded disk cache (default-constructed = disabled when
+  /// cache_dir is empty; behind a pointer because the store owns a mutex).
+  std::unique_ptr<ArtifactStore> store = std::make_unique<ArtifactStore>();
 
   std::mutex registry_mutex;
   /// Queued/running cacheable jobs by fingerprint — the coalescing table.
@@ -157,40 +158,26 @@ void fail_job(ExperimentService::State& state,
   job->done_cv.notify_all();
 }
 
-std::string disk_path(const ServiceOptions& options, const std::string& fp) {
-  return options.cache_dir + "/" + fp + ".csv";
-}
-
-std::shared_ptr<const ExperimentResult> load_disk(const ServiceOptions& options,
+std::shared_ptr<const ExperimentResult> load_disk(ArtifactStore& store,
                                                   const detail::Job& job) {
-  std::ifstream f(disk_path(options, job.fingerprint));
-  if (!f) return nullptr;
-  std::ostringstream buffer;
-  buffer << f.rdbuf();
-  auto decoded = decode_result(buffer.str(), job.fingerprint_text);
-  if (!decoded) return nullptr;  // collision / corruption: plain miss
+  const std::optional<std::string> text = store.get(job.fingerprint);
+  if (!text.has_value()) return nullptr;
+  auto decoded = decode_result(*text, job.fingerprint_text);
+  if (!decoded) {
+    // Collision is a plain miss, but a torn/corrupt artifact is removed so
+    // the next run republishes clean bytes instead of re-parsing garbage.
+    store.remove(job.fingerprint);
+    return nullptr;
+  }
   return std::make_shared<const ExperimentResult>(std::move(*decoded));
 }
 
-void store_disk(const ServiceOptions& options, const detail::Job& job,
+void store_disk(ArtifactStore& store, const detail::Job& job,
                 const ExperimentResult& result) {
-  const std::string path = disk_path(options, job.fingerprint);
-  // Write-then-rename keeps concurrent readers (other processes sharing
-  // the directory) off half-written artifacts; the id suffix keeps two
-  // writers of the same fingerprint off each other's temp file.
-  const std::string tmp = path + ".tmp" + std::to_string(job.id);
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    f << encode_result(result, job.fingerprint_text);
-    if (!f) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return;  // the disk cache is best-effort
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  // Publication goes through the atomic temp+fsync+rename door and LRU
+  // eviction inside the store; failures warn once and degrade (the disk
+  // cache is best-effort by contract).
+  store.put(job.fingerprint, encode_result(result, job.fingerprint_text));
 }
 
 void insert_cache_locked(ExperimentService::State& state, std::size_t capacity,
@@ -222,7 +209,15 @@ ExperimentService::ExperimentService(ServiceOptions options)
     : options_(std::move(options)),
       state_(std::make_unique<State>(options_.queue_capacity)) {
   if (!options_.cache_dir.empty()) {
-    std::filesystem::create_directories(options_.cache_dir);
+    ArtifactStoreOptions store_options;
+    store_options.dir = options_.cache_dir;
+    store_options.max_bytes = options_.cache_max_bytes;
+    store_options.faults = options_.faults;
+    store_options.warn = options_.warn;
+    state_->store = std::make_unique<ArtifactStore>(std::move(store_options));
+    // Crash debris from earlier runs (orphaned temps, an over-cap store
+    // left by a killed eviction pass) is cleaned before first use.
+    state_->store->maintenance();
   }
   const std::size_t workers = options_.num_workers == 0
                                   ? util::default_parallelism()
@@ -322,7 +317,7 @@ JobHandle ExperimentService::submit_impl(const ExperimentSpec& spec,
     // submitters); the fingerprint is already claimed in `inflight`, so
     // concurrent duplicates coalesce onto this job while we read.
     if (!options_.cache_dir.empty()) {
-      if (auto result = load_disk(options_, *job)) {
+      if (auto result = load_disk(*state_->store, *job)) {
         state_->cache_hits.fetch_add(1, std::memory_order_relaxed);
         state_->disk_hits.fetch_add(1, std::memory_order_relaxed);
         complete_job(job, std::move(result), /*from_cache=*/true);
@@ -366,7 +361,7 @@ void ExperimentService::run_job(const std::shared_ptr<detail::Job>& job) {
     return;
   }
   if (job->cacheable && !options_.cache_dir.empty()) {
-    store_disk(options_, *job, *result);
+    store_disk(*state_->store, *job, *result);
   }
   complete_job(job, std::move(result), /*from_cache=*/false);
 }
@@ -407,6 +402,10 @@ std::size_t ExperimentService::coalesced() const {
   return state_->coalesced.load(std::memory_order_relaxed);
 }
 
+const ArtifactStore& ExperimentService::artifact_store() const {
+  return *state_->store;
+}
+
 ExperimentService& ExperimentService::shared() {
   static ExperimentService service([] {
     ServiceOptions options;
@@ -428,6 +427,14 @@ ExperimentService& ExperimentService::shared() {
             static_cast<std::size_t>(util::parse_u64(entries));
       } catch (const std::exception&) {
         // an unparseable override keeps the default
+      }
+    }
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- see above
+    if (const char* max_bytes = std::getenv("TEGREC_CACHE_MAX_BYTES")) {
+      try {
+        options.cache_max_bytes = util::parse_u64(max_bytes);
+      } catch (const std::exception&) {
+        // an unparseable cap keeps the cache unbounded
       }
     }
     return options;

@@ -27,7 +27,10 @@
 #include <memory>
 #include <string>
 
+#include "sim/artifact_store.hpp"
 #include "sim/spec.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace tegrec::sim {
 
@@ -39,8 +42,19 @@ struct ServiceOptions {
   /// In-memory result cache capacity in entries (LRU eviction; 0 disables).
   std::size_t memory_cache_entries = 64;
   /// Directory for on-disk artifacts, one `<fingerprint>.csv` per result
-  /// (created on demand; empty disables the disk cache).
+  /// (created on demand; empty disables the disk cache).  The disk cache
+  /// is strictly best-effort: an unwritable directory or a disk that fills
+  /// mid-run warns once and degrades to uncached execution — it never
+  /// fails a submit.
   std::string cache_dir;
+  /// Byte cap for the on-disk cache (LRU eviction via ArtifactStore;
+  /// 0 = unbounded).
+  std::uint64_t cache_max_bytes = 0;
+  /// Fault injection for the disk-cache paths (nullptr = process-wide
+  /// injector; see util/fault.hpp).
+  util::FaultInjector* faults = nullptr;
+  /// Sink for degradation warnings (defaults to stderr, warn-once).
+  util::WarnFn warn;
 };
 
 enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
@@ -121,9 +135,15 @@ class ExperimentService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// The on-disk artifact store behind the disk cache (disabled when
+  /// cache_dir is empty).  Exposed for eviction/degradation introspection.
+  const ArtifactStore& artifact_store() const;
+
   /// Process-wide service the blocking wrappers submit to: hardware-sized
   /// worker pool, in-memory cache, plus a disk cache when the
-  /// TEGREC_CACHE_DIR environment variable names a directory.
+  /// TEGREC_CACHE_DIR environment variable names a directory
+  /// (TEGREC_CACHE_MAX_BYTES caps its size, TEGREC_CACHE_ENTRIES the
+  /// in-memory LRU).
   static ExperimentService& shared();
 
  private:

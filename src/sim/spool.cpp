@@ -1,0 +1,473 @@
+#include "sim/spool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "sim/result_io.hpp"
+#include "util/atomic_file.hpp"
+#include "util/runtime_clock.hpp"
+
+namespace tegrec::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSpecSuffix = ".spec";
+constexpr const char* kLeaseSuffix = ".lease";
+constexpr const char* kReasonSuffix = ".reason";
+
+const char* dir_name(SpoolJobState state) {
+  switch (state) {
+    case SpoolJobState::kPending:
+      return "pending";
+    case SpoolJobState::kClaimed:
+      return "claimed";
+    case SpoolJobState::kDone:
+      return "done";
+    case SpoolJobState::kFailed:
+      return "failed";
+    case SpoolJobState::kUnknown:
+      break;
+  }
+  return "";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Lease files are "owner <id>\nseq <n>\n"; extracts the owner.
+std::string lease_owner(const std::string& lease_content) {
+  const std::string prefix = "owner ";
+  if (lease_content.compare(0, prefix.size(), prefix) != 0) return "";
+  const std::size_t end = lease_content.find('\n');
+  return lease_content.substr(
+      prefix.size(),
+      end == std::string::npos ? std::string::npos : end - prefix.size());
+}
+
+}  // namespace
+
+SpoolQueue::SpoolQueue(SpoolOptions options) : options_(std::move(options)) {
+  if (options_.root.empty()) {
+    throw std::invalid_argument("SpoolOptions.root must not be empty");
+  }
+  if (options_.faults == nullptr) options_.faults = &util::process_faults();
+  if (!options_.now_ms) options_.now_ms = util::monotonic_now_ms;
+  for (const char* sub : {"pending", "claimed", "attempts", "failed", "done"}) {
+    std::error_code ec;
+    fs::create_directories(options_.root + "/" + sub, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create spool directory " +
+                               options_.root + "/" + sub + ": " +
+                               ec.message());
+    }
+  }
+}
+
+std::string SpoolQueue::dir(SpoolJobState state) const {
+  return options_.root + "/" + dir_name(state);
+}
+
+std::string SpoolQueue::spec_path(SpoolJobState state,
+                                  const std::string& id) const {
+  return dir(state) + "/" + id + kSpecSuffix;
+}
+
+std::string SpoolQueue::lease_path(const std::string& id) const {
+  return dir(SpoolJobState::kClaimed) + "/" + id + kLeaseSuffix;
+}
+
+std::string SpoolQueue::enqueue(const ExperimentSpec& spec) {
+  if (spec.trace.kind != TraceSource::Kind::kGenerated) {
+    throw std::invalid_argument(
+        "only generated trace sources can be spooled: a spool job is its "
+        "canonical text, and csv/inline sources do not round-trip through "
+        "from_text on another machine");
+  }
+  const std::string id = spec.fingerprint();
+  if (state(id) != SpoolJobState::kUnknown) return id;  // idempotent
+
+  util::AtomicWriteOptions write_options;
+  write_options.fault_site = "spool.enqueue";
+  write_options.faults = options_.faults;
+  util::atomic_write_file(spec_path(SpoolJobState::kPending, id),
+                          spec.canonical_text(), write_options);
+  return id;
+}
+
+SpoolJobState SpoolQueue::state(const std::string& id) const {
+  for (const SpoolJobState s :
+       {SpoolJobState::kDone, SpoolJobState::kFailed, SpoolJobState::kClaimed,
+        SpoolJobState::kPending}) {
+    std::error_code ec;
+    if (fs::exists(spec_path(s, id), ec)) return s;
+  }
+  return SpoolJobState::kUnknown;
+}
+
+SpoolJobStatus SpoolQueue::status(const std::string& id) const {
+  SpoolJobStatus result;
+  result.id = id;
+  result.state = state(id);
+  result.failed_attempts = failed_attempts(id);
+  if (result.state == SpoolJobState::kClaimed) {
+    const std::optional<std::string> lease =
+        util::read_file_if_exists(lease_path(id));
+    if (lease.has_value()) result.owner = lease_owner(*lease);
+  }
+  return result;
+}
+
+std::vector<std::string> SpoolQueue::list(SpoolJobState state) const {
+  std::vector<std::string> ids;
+  if (state == SpoolJobState::kUnknown) return ids;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(dir(state), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp-") != std::string::npos) continue;
+    if (!ends_with(name, kSpecSuffix)) continue;
+    ids.push_back(name.substr(0, name.size() - std::string(kSpecSuffix).size()));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::optional<std::string> SpoolQueue::failure_reason(
+    const std::string& id) const {
+  return util::read_file_if_exists(dir(SpoolJobState::kFailed) + "/" + id +
+                                   kReasonSuffix);
+}
+
+void SpoolQueue::write_lease(const std::string& id, const std::string& owner,
+                             std::uint64_t seq) {
+  util::AtomicWriteOptions write_options;
+  write_options.fault_site = "spool.lease";
+  write_options.faults = options_.faults;
+  const std::string content =
+      "owner " + owner + "\nseq " + std::to_string(seq) + "\n";
+  try {
+    util::atomic_write_file(lease_path(id), content, write_options);
+  } catch (const util::AtomicWriteCrash&) {
+    throw;
+  } catch (const std::exception&) {
+    // A lease that fails to publish just looks frozen to observers and the
+    // job is reclaimed after the stale window — safe, merely slower.
+  }
+}
+
+std::optional<SpoolQueue::Claim> SpoolQueue::try_claim(
+    const std::string& owner) {
+  for (const std::string& id : list(SpoolJobState::kPending)) {
+    if (!util::rename_file(spec_path(SpoolJobState::kPending, id),
+                           spec_path(SpoolJobState::kClaimed, id))) {
+      continue;  // lost the race for this job; try the next one
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      heartbeat_seqs_[id] = 1;
+    }
+    write_lease(id, owner, 1);
+    const std::optional<std::string> text =
+        util::read_file_if_exists(spec_path(SpoolJobState::kClaimed, id));
+    if (!text.has_value()) continue;  // reclaimed from under us already
+    return Claim{id, *text};
+  }
+  return std::nullopt;
+}
+
+void SpoolQueue::heartbeat(const std::string& id, const std::string& owner) {
+  if (options_.faults->should_fire("spool.heartbeat.drop")) return;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = ++heartbeat_seqs_[id];
+  }
+  write_lease(id, owner, seq);
+}
+
+void SpoolQueue::complete(const std::string& id) {
+  // Rename first: once the job is in done/ no reclaimer can touch it, so
+  // removing the lease afterwards cannot race a reclaim.
+  util::rename_file(spec_path(SpoolJobState::kClaimed, id),
+                    spec_path(SpoolJobState::kDone, id));
+  std::error_code ec;
+  fs::remove(lease_path(id), ec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  heartbeat_seqs_.erase(id);
+  observations_.erase(id);
+}
+
+std::size_t SpoolQueue::failed_attempts(const std::string& id) const {
+  const std::string prefix = id + ".a";
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.root + "/attempts", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, prefix.size(), prefix) == 0) ++count;
+  }
+  return count;
+}
+
+bool SpoolQueue::record_failure(const std::string& id,
+                                const std::string& reason) {
+  // O_EXCL marker per attempt; looping past occupied slots keeps racing
+  // recorders from double-counting (each marker is created exactly once).
+  std::size_t attempt = failed_attempts(id) + 1;
+  const std::string attempts_dir = options_.root + "/attempts";
+  while (!util::create_file_exclusive(
+      attempts_dir + "/" + id + ".a" + std::to_string(attempt), reason)) {
+    ++attempt;
+    if (attempt > options_.max_attempts + 1) break;  // bounded paranoia
+  }
+  return attempt >= options_.max_attempts;
+}
+
+bool SpoolQueue::fail_attempt(const std::string& id,
+                              const std::string& reason) {
+  const bool dead = record_failure(id, reason);
+  const SpoolJobState target =
+      dead ? SpoolJobState::kFailed : SpoolJobState::kPending;
+  if (util::rename_file(spec_path(SpoolJobState::kClaimed, id),
+                        spec_path(target, id)) &&
+      dead) {
+    util::AtomicWriteOptions write_options;
+    write_options.fault_site = "spool.reason";
+    write_options.faults = options_.faults;
+    try {
+      util::atomic_write_file(
+          dir(SpoolJobState::kFailed) + "/" + id + kReasonSuffix,
+          "dead-lettered after " + std::to_string(failed_attempts(id)) +
+              " failed attempts; last error: " + reason + "\n",
+          write_options);
+    } catch (const std::exception&) {
+      // The reason file is advisory; the dead-letter state is the spec's
+      // location, which is already final.
+    }
+  }
+  std::error_code ec;
+  fs::remove(lease_path(id), ec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  heartbeat_seqs_.erase(id);
+  observations_.erase(id);
+  return dead;
+}
+
+std::size_t SpoolQueue::reclaim_stale() {
+  std::size_t moved = 0;
+  const std::vector<std::string> claimed = list(SpoolJobState::kClaimed);
+  const std::uint64_t now = options_.now_ms();
+
+  // Drop observations for jobs that left claimed/ (completed or already
+  // reclaimed) so a re-claimed id starts a fresh window.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = observations_.begin(); it != observations_.end();) {
+      if (std::find(claimed.begin(), claimed.end(), it->first) ==
+          claimed.end()) {
+        it = observations_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (const std::string& id : claimed) {
+    // A lease that has not been published yet reads as "" — still a stable
+    // observation, so a worker that died in the claim->lease gap is
+    // reclaimed after the same window.
+    const std::string lease =
+        util::read_file_if_exists(lease_path(id)).value_or("");
+    bool stale = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Observation& obs = observations_[id];
+      if (obs.first_seen_ms == 0 || obs.lease_content != lease) {
+        obs.lease_content = lease;
+        obs.first_seen_ms = now == 0 ? 1 : now;  // 0 marks "unobserved"
+      } else if (now - obs.first_seen_ms >= options_.stale_after_ms) {
+        stale = true;
+      }
+    }
+    if (!stale) continue;
+
+    if (!util::rename_file(spec_path(SpoolJobState::kClaimed, id),
+                           spec_path(SpoolJobState::kPending, id))) {
+      continue;  // another reclaimer (or the resurrected owner) won
+    }
+    ++moved;
+    std::error_code ec;
+    fs::remove(lease_path(id), ec);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      observations_.erase(id);
+    }
+    // Marker only after winning the rename: racing reclaimers cannot
+    // double-count the interrupted attempt.
+    const std::string reason =
+        "lease stale (owner '" + lease_owner(lease) + "')";
+    if (record_failure(id, reason) &&
+        util::rename_file(spec_path(SpoolJobState::kPending, id),
+                          spec_path(SpoolJobState::kFailed, id))) {
+      util::AtomicWriteOptions write_options;
+      write_options.fault_site = "spool.reason";
+      write_options.faults = options_.faults;
+      try {
+        util::atomic_write_file(
+            dir(SpoolJobState::kFailed) + "/" + id + kReasonSuffix,
+            "dead-lettered after " + std::to_string(failed_attempts(id)) +
+                " interrupted attempts; " + reason + "\n",
+            write_options);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  maintenance();
+  return moved;
+}
+
+std::size_t SpoolQueue::maintenance() {
+  // A temp younger than the staleness window may belong to a live writer
+  // mid-publish; older ones are debris from a writer that died between
+  // write and rename (the lease of a SIGKILLed worker, typically).
+  std::size_t removed = 0;
+  for (const SpoolJobState state :
+       {SpoolJobState::kPending, SpoolJobState::kClaimed,
+        SpoolJobState::kFailed}) {
+    removed += util::remove_stale_temp_files(dir(state),
+                                             options_.stale_after_ms);
+  }
+  return removed;
+}
+
+// ------------------------------------------------------------------ worker
+
+namespace {
+
+/// Joins the heartbeat thread on every exit path from process().
+class HeartbeatGuard {
+ public:
+  HeartbeatGuard(SpoolQueue& queue, std::string id, std::string owner,
+                 std::uint64_t period_ms)
+      : queue_(queue), id_(std::move(id)), owner_(std::move(owner)) {
+    thread_ = std::thread([this, period_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!done_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                     [this] { return done_; });
+        if (done_) break;
+        lock.unlock();
+        queue_.heartbeat(id_, owner_);
+        lock.lock();
+      }
+    });
+  }
+
+  ~HeartbeatGuard() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  SpoolQueue& queue_;
+  std::string id_;
+  std::string owner_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+SpoolWorker::SpoolWorker(SpoolQueue& queue, ArtifactStore& store,
+                         SpoolWorkerOptions options)
+    : queue_(queue), store_(store), options_(std::move(options)) {}
+
+void SpoolWorker::process(const SpoolQueue::Claim& claim) {
+  const ExperimentSpec spec = ExperimentSpec::from_text(claim.spec_text);
+  const std::string fingerprint_text = spec.fingerprint_text();
+
+  // A previous owner may have crashed between publishing the artifact and
+  // marking the job done — the store hit makes recovery idempotent.
+  if (const std::optional<std::string> artifact = store_.get(claim.id)) {
+    if (decode_result(*artifact, fingerprint_text).has_value()) {
+      queue_.complete(claim.id);
+      ++stats_.store_hits;
+      ++stats_.completed;
+      return;
+    }
+    store_.remove(claim.id);  // torn/corrupt artifact: self-heal, re-run
+  }
+
+  {
+    HeartbeatGuard heartbeat(queue_, claim.id, options_.owner,
+                             options_.heartbeat_ms);
+    const ExperimentResult result = run_experiment(spec);
+    // Publish before complete: a crash between the two leaves a claimed job
+    // whose artifact already exists, which the next claimant short-circuits.
+    store_.put(claim.id, encode_result(result, fingerprint_text));
+    // The guard must die *before* complete(): a beat landing after
+    // complete() removed the lease would resurrect it as orphan debris.
+  }
+  queue_.complete(claim.id);
+  ++stats_.executed;
+  ++stats_.completed;
+}
+
+bool SpoolWorker::run_one() {
+  const std::optional<SpoolQueue::Claim> claim = queue_.try_claim(options_.owner);
+  if (!claim.has_value()) return false;
+  try {
+    process(*claim);
+  } catch (const util::AtomicWriteCrash&) {
+    throw;  // simulated process death mid-publish: die like one
+  } catch (const std::exception& error) {
+    queue_.fail_attempt(claim->id, error.what());
+    ++stats_.failures;
+  }
+  return true;
+}
+
+SpoolWorkerStats SpoolWorker::run() {
+  std::uint64_t idle_since_ms = 0;
+  while (true) {
+    if (options_.stop_flag != nullptr &&
+        options_.stop_flag->load(std::memory_order_relaxed)) {
+      break;
+    }
+    stats_.reclaimed += queue_.reclaim_stale();
+    if (run_one()) {
+      idle_since_ms = 0;
+      if (options_.max_jobs > 0 &&
+          stats_.completed + stats_.failures >= options_.max_jobs) {
+        break;
+      }
+      continue;
+    }
+    const std::uint64_t now = queue_.options().now_ms();
+    if (idle_since_ms == 0) idle_since_ms = now == 0 ? 1 : now;
+    if (options_.idle_exit_ms > 0 &&
+        now - idle_since_ms >= options_.idle_exit_ms) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+  }
+  return stats_;
+}
+
+}  // namespace tegrec::sim

@@ -1,0 +1,253 @@
+// Crash-safe multi-process job spool.
+//
+// A spool is a directory tree that turns the filesystem into a work queue
+// shared by any number of producer and worker processes, with no daemon,
+// no lock files, and no state that a kill -9 can corrupt:
+//
+//   <root>/pending/<id>.spec     jobs awaiting a worker (canonical
+//                                ExperimentSpec text; id = fingerprint)
+//   <root>/claimed/<id>.spec     jobs a worker currently owns
+//   <root>/claimed/<id>.lease    the owner's lease: owner id + heartbeat
+//                                sequence number, rewritten every
+//                                heartbeat_ms through the atomic door
+//   <root>/attempts/<id>.a<N>    one empty marker per failed/interrupted
+//                                attempt (O_EXCL-created)
+//   <root>/failed/<id>.spec      dead-lettered jobs, with a sibling
+//   <root>/failed/<id>.reason    human-readable reason file
+//   <root>/done/<id>.spec        completed jobs (results live in the
+//                                shared ArtifactStore, keyed by id)
+//
+// Every state transition is one rename(2), which POSIX makes atomic and
+// single-winner: of N workers renaming pending/<id>.spec into claimed/,
+// exactly one succeeds and the rest observe the source gone.  The same
+// primitive drives stale-lease reclaim (claimed -> pending) and
+// dead-lettering (-> failed), so there is no instant at which a job is in
+// zero or two states.
+//
+// Staleness is judged by observation, not by comparing timestamps across
+// machines: a reclaimer remembers (lease content, first-seen tick of its
+// OWN monotonic clock) and reclaims only after the content has stayed
+// unchanged for stale_after_ms of its own time.  A live worker's
+// heartbeat keeps changing the lease; a dead worker's lease freezes.
+// Clock skew between hosts is therefore irrelevant.
+//
+// Attempt markers are created only AFTER winning the reclaim/failure
+// rename, so racing reclaimers cannot double-count an attempt; when the
+// marker count reaches max_attempts the winner dead-letters the job
+// instead of requeueing it.
+//
+// Because the id is the spec fingerprint, recovery is idempotent: a
+// reclaimed job whose previous owner already published its artifact is
+// recognised as done by the next claimant (store hit) without
+// re-execution, and results are bit-identical no matter how many times a
+// job is interrupted.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/artifact_store.hpp"
+#include "sim/spec.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace tegrec::sim {
+
+struct SpoolOptions {
+  /// Spool root directory (subdirectories are created on demand).
+  std::string root;
+  /// A lease whose content has not changed for this long (on the
+  /// observer's clock) is considered abandoned and reclaimed.
+  std::uint64_t stale_after_ms = 5'000;
+  /// A job is dead-lettered once this many attempts have failed or been
+  /// interrupted.
+  std::size_t max_attempts = 3;
+  /// Injection points "spool.enqueue.*", "spool.lease.*",
+  /// "spool.heartbeat.drop", "spool.reason.*"; nullptr = process injector.
+  util::FaultInjector* faults = nullptr;
+  /// Monotonic millisecond clock for staleness observation.  Defaults to
+  /// util::monotonic_now_ms; tests install a fake clock so stale-reclaim
+  /// paths run without sleeping.
+  std::function<std::uint64_t()> now_ms;
+};
+
+enum class SpoolJobState {
+  kPending,
+  kClaimed,
+  kDone,
+  kFailed,
+  kUnknown,  ///< id not present anywhere in the spool
+};
+
+/// Point-in-time view of one job (racy by nature — states move under you).
+struct SpoolJobStatus {
+  std::string id;
+  SpoolJobState state = SpoolJobState::kUnknown;
+  std::size_t failed_attempts = 0;  ///< attempt markers on disk
+  std::string owner;                ///< lease owner while kClaimed
+};
+
+class SpoolQueue {
+ public:
+  /// Opens (and if needed creates) the spool at options.root.  Throws when
+  /// the tree cannot be created.
+  explicit SpoolQueue(SpoolOptions options);
+
+  const std::string& root() const { return options_.root; }
+  const SpoolOptions& options() const { return options_; }
+
+  // ----------------------------------------------------------- producer
+
+  /// Adds a job for `spec`; returns its id (the spec fingerprint).
+  /// Idempotent: a job already pending/claimed/done/failed is left alone.
+  /// Throws std::invalid_argument for trace sources that do not survive
+  /// canonical-text round-tripping (kCsvFile, kInline) — a spool job is
+  /// its text, so only generated sources are spoolable.
+  std::string enqueue(const ExperimentSpec& spec);
+
+  /// Current state of `id`, scanning done/failed/claimed/pending.
+  SpoolJobState state(const std::string& id) const;
+  SpoolJobStatus status(const std::string& id) const;
+
+  /// Ids currently in `state`'s directory (kUnknown returns empty).
+  std::vector<std::string> list(SpoolJobState state) const;
+
+  /// Dead-letter reason for a failed job, when present.
+  std::optional<std::string> failure_reason(const std::string& id) const;
+
+  // ------------------------------------------------------------- worker
+
+  struct Claim {
+    std::string id;
+    std::string spec_text;  ///< canonical text, ready for from_text()
+  };
+
+  /// Claims one pending job for `owner`: wins the rename into claimed/ and
+  /// publishes the initial lease.  Returns nullopt when no job could be
+  /// claimed (queue empty or every rename lost its race).
+  std::optional<Claim> try_claim(const std::string& owner);
+
+  /// Re-publishes `id`'s lease with the next heartbeat sequence number.
+  /// The "spool.heartbeat.drop" fault suppresses the write (simulating a
+  /// worker that froze without dying).
+  void heartbeat(const std::string& id, const std::string& owner);
+
+  /// Marks a claimed job complete: claimed -> done, lease removed.  The
+  /// result artifact must already be published (store-then-complete order
+  /// is what makes crash recovery idempotent).  Idempotent: completing a
+  /// job that already moved is a no-op.
+  void complete(const std::string& id);
+
+  /// Records a failed attempt for a job this worker owns: attempt marker,
+  /// then claimed -> pending for retry, or claimed -> failed (+ reason
+  /// file) once max_attempts is reached.  Returns true when the job was
+  /// dead-lettered.
+  bool fail_attempt(const std::string& id, const std::string& reason);
+
+  /// Scans claimed/ for stale leases and reclaims them (back to pending,
+  /// or to failed/ once out of attempts).  Any process may run this; the
+  /// attempt marker is created only after winning the reclaim rename.
+  /// Returns the number of jobs moved.
+  std::size_t reclaim_stale();
+
+  /// Sweeps orphaned atomic-write temps (".tmp-" siblings left by writers
+  /// that died between write and rename) older than the staleness window
+  /// out of every spool directory.  reclaim_stale() runs one sweep per
+  /// pass, so long-lived farms shed crash debris without a dedicated
+  /// janitor; call it directly at process startup for a prompt clean.
+  /// Returns the number of temps removed.
+  std::size_t maintenance();
+
+  /// Attempt markers on disk for `id`.
+  std::size_t failed_attempts(const std::string& id) const;
+
+ private:
+  std::string dir(SpoolJobState state) const;
+  std::string spec_path(SpoolJobState state, const std::string& id) const;
+  std::string lease_path(const std::string& id) const;
+  void write_lease(const std::string& id, const std::string& owner,
+                   std::uint64_t seq);
+  /// Marker + requeue/dead-letter transition from claimed/.  Returns true
+  /// when dead-lettered.
+  bool record_failure(const std::string& id, const std::string& reason);
+
+  SpoolOptions options_;
+
+  /// Stale-lease observation log: lease content + when THIS observer first
+  /// saw that exact content (our own monotonic clock).
+  struct Observation {
+    std::string lease_content;
+    std::uint64_t first_seen_ms = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Observation> observations_;
+  std::map<std::string, std::uint64_t> heartbeat_seqs_;
+};
+
+// ------------------------------------------------------------------ worker
+
+struct SpoolWorkerOptions {
+  /// Lease owner id recorded in heartbeats (e.g. "host:pid").
+  std::string owner = "worker";
+  /// Lease re-publication period while executing a job.
+  std::uint64_t heartbeat_ms = 500;
+  /// Sleep between queue polls when no job was claimed.
+  std::uint64_t poll_ms = 100;
+  /// run() exits after this long with nothing to do (0 = run forever).
+  std::uint64_t idle_exit_ms = 0;
+  /// run() exits after completing/failing this many jobs (0 = unlimited).
+  std::size_t max_jobs = 0;
+  /// Graceful-drain flag: when it flips true, run() finishes the job in
+  /// flight and returns (the SIGTERM contract of `tegrec_cli worker`).
+  const std::atomic<bool>* stop_flag = nullptr;
+};
+
+struct SpoolWorkerStats {
+  std::uint64_t completed = 0;   ///< jobs moved to done/ by this worker
+  std::uint64_t executed = 0;    ///< of those, actually simulated here
+  std::uint64_t store_hits = 0;  ///< of those, already in the store
+  std::uint64_t failures = 0;    ///< attempts that raised and were recorded
+  std::uint64_t reclaimed = 0;   ///< stale jobs this worker reclaimed
+};
+
+/// The claim -> execute -> publish -> complete loop shared by
+/// `tegrec_cli worker` and the in-process tests.  A background thread
+/// republishes the lease every heartbeat_ms while a job runs.  Results are
+/// published to the ArtifactStore BEFORE the job is marked done, and a
+/// claimed job whose artifact already exists (a previous owner crashed
+/// between publish and complete) is recognised and completed without
+/// re-execution; corrupt artifacts are removed and re-simulated.
+class SpoolWorker {
+ public:
+  SpoolWorker(SpoolQueue& queue, ArtifactStore& store,
+              SpoolWorkerOptions options);
+
+  /// Claims and fully processes one job.  Returns whether a job was
+  /// claimed.  util::AtomicWriteCrash propagates (it models this process
+  /// dying mid-publish); every other execution failure is recorded via
+  /// fail_attempt and does not escape.
+  bool run_one();
+
+  /// Poll loop: reclaim stale leases, process jobs, sleep poll_ms when
+  /// idle; exits on stop_flag, max_jobs, or idle_exit_ms.
+  SpoolWorkerStats run();
+
+  const SpoolWorkerStats& stats() const { return stats_; }
+
+ private:
+  void process(const SpoolQueue::Claim& claim);
+
+  SpoolQueue& queue_;
+  ArtifactStore& store_;
+  SpoolWorkerOptions options_;
+  SpoolWorkerStats stats_;
+};
+
+}  // namespace tegrec::sim

@@ -1,0 +1,98 @@
+// The sanctioned atomic file-publication door.
+//
+// Every file that more than one process may observe — spool job specs,
+// lease heartbeats, dead-letter reasons, cached result artifacts — is
+// published through atomic_write_file(): the content is written to a
+// `<path>.tmp-<pid>-<seq>` sibling, fsync'd, renamed over the final path,
+// and the directory is fsync'd, so a concurrent reader sees either the
+// old complete file or the new complete file, never a torn prefix, and a
+// crash at any instant leaves at worst an orphaned temp file that readers
+// ignore.  Transient failures are retried under a capped, deterministic
+// exponential backoff (no jitter: the repo's determinism rules extend to
+// failure handling).
+//
+// The raw-publish lint rule enforces the funnel mechanically: std::ofstream
+// and rename calls are banned in src/sim, so simulation-layer code *cannot*
+// publish a file except through these helpers.  Named fault-injection
+// points (see util/fault.hpp) let tests drive the failure matrix:
+//
+//   <site>.write_fail   the attempt fails as if the disk were full
+//   <site>.torn         a half-written file is published (models a legacy
+//                       non-atomic writer or lost page-cache on power cut)
+//   <site>.crash        the temp file is written but the process "dies"
+//                       before rename: the temp is abandoned and
+//                       AtomicWriteCrash is thrown (no retries — a crash
+//                       is not an error return)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "util/fault.hpp"
+
+namespace tegrec::util {
+
+/// Deterministic capped exponential backoff: attempt k (0-based) sleeps
+/// min(initial_backoff_ms << k, max_backoff_ms) before retrying.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  std::uint64_t initial_backoff_ms = 1;
+  std::uint64_t max_backoff_ms = 50;
+};
+
+/// Backoff delay before retry attempt `attempt` (0-based), in ms.
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt);
+
+struct AtomicWriteOptions {
+  RetryPolicy retry;
+  /// Injection-point prefix ("" disables injection for this write).
+  std::string fault_site;
+  /// nullptr falls back to process_faults().
+  FaultInjector* faults = nullptr;
+};
+
+/// Thrown when the <site>.crash fault fires: the temp file was written but
+/// the simulated process died before rename.  Deliberately NOT a retryable
+/// failure — callers treat it like the crash it models.
+class AtomicWriteCrash : public std::runtime_error {
+ public:
+  explicit AtomicWriteCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Atomically publishes `content` at `path` (write temp + fsync + rename +
+/// fsync dir).  Retries transient failures per `options.retry`; throws
+/// std::runtime_error once attempts are exhausted and AtomicWriteCrash when
+/// the crash fault fires.
+void atomic_write_file(const std::string& path, const std::string& content,
+                       const AtomicWriteOptions& options = {});
+
+/// rename(2) wrapper for single-winner claim protocols: true on success,
+/// false on any failure (for a spool claim, a lost race — the source was
+/// already taken).  Never throws.
+bool rename_file(const std::string& from, const std::string& to) noexcept;
+
+/// Whole-file read; nullopt when the file does not exist or cannot be
+/// opened (for cache probes both are a miss).
+std::optional<std::string> read_file_if_exists(const std::string& path);
+
+/// Creates `path` with `content` only if it does not already exist
+/// (O_CREAT|O_EXCL semantics — the attempt-marker primitive).  Returns
+/// whether this call created it.
+bool create_file_exclusive(const std::string& path,
+                           const std::string& content);
+
+/// Bumps the file's modification time to now (the artifact store's LRU
+/// signal).  Best-effort: returns false when the file is gone.
+bool touch_file(const std::string& path) noexcept;
+
+/// Removes `*.tmp-*` orphans in `dir` older than `max_age_ms` (abandoned
+/// by crashed writers; age from the filesystem clock).  Returns how many
+/// were removed.  Never throws — garbage collection is best-effort.
+std::size_t remove_stale_temp_files(const std::string& dir,
+                                    std::uint64_t max_age_ms) noexcept;
+
+}  // namespace tegrec::util

@@ -1,0 +1,111 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace tegrec::util {
+
+namespace {
+
+constexpr std::uint64_t kOpenEnd = std::numeric_limits<std::uint64_t>::max();
+
+/// Splits on ',' and ';', trimming spaces; empty entries are skipped so
+/// trailing separators are harmless.
+std::vector<std::string> split_entries(const std::string& config) {
+  std::vector<std::string> entries;
+  std::string current;
+  for (const char c : config) {
+    if (c == ',' || c == ';') {
+      if (!current.empty()) entries.push_back(current);
+      current.clear();
+    } else if (c != ' ' && c != '\t') {
+      current += c;
+    }
+  }
+  if (!current.empty()) entries.push_back(current);
+  return entries;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const std::string& config) {
+  for (const std::string& entry : split_entries(config)) {
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= entry.size()) {
+      throw std::invalid_argument("fault config entry '" + entry +
+                                  "' is not of the form site@hits");
+    }
+    const std::string site = entry.substr(0, at);
+    const std::string spec = entry.substr(at + 1);
+    if (spec == "*") {
+      arm(site, 1, kOpenEnd);
+      continue;
+    }
+    const std::size_t dash = spec.find('-');
+    try {
+      if (dash == std::string::npos) {
+        const std::uint64_t hit = parse_u64(spec);
+        arm(site, hit, hit);
+      } else if (dash + 1 == spec.size()) {
+        arm(site, parse_u64(spec.substr(0, dash)), kOpenEnd);
+      } else {
+        arm(site, parse_u64(spec.substr(0, dash)),
+            parse_u64(spec.substr(dash + 1)));
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("fault config entry '" + entry +
+                                  "' has an unparseable hit range");
+    }
+  }
+}
+
+void FaultInjector::arm(const std::string& site, std::uint64_t first,
+                        std::uint64_t last) {
+  if (first == 0 || last < first) {
+    throw std::invalid_argument("fault range for '" + site +
+                                "' must be 1-based and non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[site].ranges.emplace_back(first, last);
+}
+
+bool FaultInjector::should_fire(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[site];
+  const std::uint64_t hit = ++s.hits;
+  for (const auto& [first, last] : s.ranges) {
+    if (hit >= first && hit <= last) return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [site, s] : sites_) {
+    if (!s.ranges.empty()) return true;
+  }
+  return false;
+}
+
+FaultInjector& process_faults() {
+  // getenv is read once, under the static-local initialisation guard,
+  // before any concurrent setenv could race it (same pattern as
+  // ExperimentService::shared()).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  static FaultInjector injector([]() -> std::string {
+    const char* config = std::getenv("TEGREC_FAULTS");
+    return config == nullptr ? "" : config;
+  }());
+  return injector;
+}
+
+}  // namespace tegrec::util

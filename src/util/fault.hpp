@@ -1,0 +1,80 @@
+// Deterministic fault injection for crash-safety testing.
+//
+// The spool queue, the artifact store, and the atomic-write door all have
+// failure paths (torn write, crash between write and rename, ENOSPC,
+// stale lease) that real hardware exercises rarely and nondeterministically.
+// A FaultInjector makes them first-class test inputs: code under test asks
+// `should_fire(site)` at each named injection point, and a fault fires
+// when the site's per-injector hit counter lands inside an armed range.
+// Scheduling is purely count-based — seeded from configuration, never from
+// wall clock or ambient randomness (the repo's determinism lint applies) —
+// so a failing fault-matrix test replays identically every run.
+//
+// Sites are dotted lowercase names ("artifact.write_fail",
+// "spool.heartbeat.drop").  The config grammar arms hit ranges:
+//
+//   site@N        fire on exactly the Nth hit (1-based)
+//   site@N-M      fire on hits N..M inclusive
+//   site@N-       fire on every hit from the Nth on
+//   site@*        fire on every hit
+//
+// with entries separated by ',' or ';', e.g.
+// "artifact.write_fail@1-2;artifact.torn@4".  The process-wide injector
+// (process_faults()) is armed once from the TEGREC_FAULTS environment
+// variable, so multi-process smoke tests can inject faults into a worker
+// without recompiling; unit tests construct their own injectors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tegrec::util {
+
+class FaultInjector {
+ public:
+  /// No faults armed; every should_fire() is false (but still counted).
+  FaultInjector() = default;
+
+  /// Arms from a config string (grammar above).  Throws
+  /// std::invalid_argument on malformed entries — a typo in a fault plan
+  /// must not silently run a fault-free test.
+  explicit FaultInjector(const std::string& config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms hits [first, last] (1-based, inclusive) of `site`.
+  void arm(const std::string& site, std::uint64_t first, std::uint64_t last);
+
+  /// Counts one hit of `site` and reports whether an armed range covers
+  /// it.  Thread-safe; hit order across racing threads is the caller's
+  /// scheduling, so deterministic tests drive sites single-threaded.
+  bool should_fire(const std::string& site);
+
+  /// Hits recorded for `site` so far (0 for a site never hit).
+  std::uint64_t hits(const std::string& site) const;
+
+  /// True when at least one site has an armed range (production runs with
+  /// nothing armed skip fault bookkeeping entirely).
+  bool armed() const;
+
+ private:
+  struct Site {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    std::uint64_t hits = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Site> sites_;
+};
+
+/// The process-wide injector, armed once from the TEGREC_FAULTS
+/// environment variable (empty/unset = nothing armed).  Every production
+/// code path that takes an optional `FaultInjector*` falls back to this,
+/// so external process smoke tests can inject faults via the environment.
+FaultInjector& process_faults();
+
+}  // namespace tegrec::util

@@ -1,0 +1,13 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace tegrec::util {
+
+void warn_to_stderr(const std::string& message) {
+  // The one sanctioned console write in library code (see header).
+  // tegrec-lint: allow(api-io)
+  std::fprintf(stderr, "tegrec: warning: %s\n", message.c_str());
+}
+
+}  // namespace tegrec::util

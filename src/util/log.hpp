@@ -1,0 +1,24 @@
+// Sanctioned warning sink for library code.
+//
+// The api-io lint rule bans console I/O in src/ so library behaviour stays
+// embeddable, but graceful-degradation paths (an unwritable cache
+// directory, a disk that filled mid-run) must be able to say *once* why a
+// feature silently turned itself off.  This header is the one door: a
+// warning callback type that components accept in their options (tests
+// install a capturing lambda) and a default sink that writes a single
+// prefixed line to stderr.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace tegrec::util {
+
+/// Warning callback: receives one complete, human-readable message.
+using WarnFn = std::function<void(const std::string&)>;
+
+/// Default sink: writes "tegrec: warning: <message>" + newline to stderr.
+/// The one sanctioned console write in library code.
+void warn_to_stderr(const std::string& message);
+
+}  // namespace tegrec::util

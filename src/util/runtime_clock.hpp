@@ -14,6 +14,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace tegrec::util {
 
@@ -36,5 +37,18 @@ class MonotonicTimer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Monotonic milliseconds since an arbitrary epoch — the spool's lease
+/// clock.  Only ever compared against itself within one process (lease
+/// staleness is judged by how long an observer has watched a heartbeat
+/// stay unchanged on its *own* clock), so the epoch never needs to agree
+/// across workers.  Simulation code must not let this feed simulated
+/// quantities; SpoolOptions::now_ms lets tests substitute a fake clock.
+inline std::uint64_t monotonic_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace tegrec::util

@@ -1,0 +1,16 @@
+// Known-bad fixture for `raw-publish`.  Never compiled.
+// Line numbers are asserted by tests/test_lint.cpp — edit with care.
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+void publish(const std::string& path, const std::string& content) {
+  std::ofstream out(path);                         // LINE 8: raw-publish
+  out << content;
+  std::filesystem::rename(path + ".tmp", path);    // LINE 10: raw-publish
+  rename("a.tmp", "a");                            // LINE 11: raw-publish
+  rename_file("a.tmp", "a");            // door wrapper: clean (word boundary)
+  atomic_write_file(path, content);     // door itself: clean
+  // tegrec-lint: allow(raw-publish)
+  std::ofstream allowed(path);  // suppressed by the allow above
+}

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Two-process crash-recovery smoke for the spool farm (docs/farm.md).
+#
+#   1. A producer enqueues one deliberately slow Monte-Carlo job.
+#   2. Worker A claims it and is killed with SIGKILL mid-execution —
+#      the real thing, not a simulation: no destructor, no signal
+#      handler, a claimed/ entry and a live lease left behind.
+#   3. Worker B (with a short staleness window) reclaims the orphaned
+#      claim, re-executes, and publishes.
+#   4. The producer's wait loop collects the result; the spool must end
+#      consistent: done/ holds the job, pending/ and claimed/ are empty,
+#      and the artifact decodes (batch exits 0 only if it does).
+#
+# Usage: spool_crash_smoke.sh <path-to-tegrec_cli>
+set -eu
+
+CLI=$1
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/tegrec_spool_smoke.XXXXXX")
+cleanup() {
+  for pid in "$WORKER_A_PID" "$WORKER_B_PID" "$PRODUCER_PID"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+WORKER_A_PID=""
+WORKER_B_PID=""
+PRODUCER_PID=""
+
+SPOOL=$WORK/spool
+CACHE=$WORK/cache
+SPECS=$WORK/specs
+mkdir -p "$SPECS"
+
+# ~6 s of single-threaded work: long enough that the SIGKILL below lands
+# mid-execution, short enough to re-run.  (96 modules x 1800 s x 6 seeds;
+# scale mc.num_seeds if this smoke ever races or drags.)
+cat > "$SPECS/slow.spec" <<'EOF'
+kind = montecarlo
+trace.source = generated
+trace.gen.seed = 7
+trace.gen.layout.num_modules = 96
+trace.gen.num_segments = 1
+trace.gen.segment.0.kind = urban
+trace.gen.segment.0.duration_s = 1800
+mc.num_seeds = 6
+EOF
+
+# The producer enqueues, then polls (doubling as a stale-lease reclaimer)
+# until the job resolves; its exit status is the verdict.
+"$CLI" batch --spool "$SPOOL" --cache "$CACHE" --stale-ms 1500 \
+       --wait-ms 120000 --json --specs "$SPECS" > "$WORK/summary.json" &
+PRODUCER_PID=$!
+
+# Wait for the job to reach pending/ before starting worker A.
+i=0
+while [ ! -d "$SPOOL/pending" ] || [ -z "$(ls "$SPOOL/pending" 2>/dev/null)" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "FAIL: job never enqueued"; exit 1; }
+  sleep 0.1
+done
+
+"$CLI" worker --spool "$SPOOL" --cache "$CACHE" --owner doomed &
+WORKER_A_PID=$!
+
+# SIGKILL worker A as soon as it holds the claim.
+i=0
+while [ -z "$(ls "$SPOOL/claimed" 2>/dev/null | grep '\.spec$')" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "FAIL: worker A never claimed the job"; exit 1; }
+  sleep 0.1
+done
+kill -9 "$WORKER_A_PID"
+wait "$WORKER_A_PID" 2>/dev/null || true
+WORKER_A_PID=""
+[ -n "$(ls "$SPOOL/claimed" | grep '\.spec$')" ] || {
+  echo "FAIL: claim did not survive the crash"; exit 1;
+}
+
+# Worker B inherits the wreckage: reclaims the stale lease, re-executes,
+# publishes, and exits once the spool has been idle for a while.
+"$CLI" worker --spool "$SPOOL" --cache "$CACHE" --owner rescuer \
+       --stale-ms 1500 --idle-exit-ms 3000 &
+WORKER_B_PID=$!
+
+wait "$PRODUCER_PID" || { echo "FAIL: batch did not collect the result"; exit 1; }
+PRODUCER_PID=""
+wait "$WORKER_B_PID" || { echo "FAIL: worker B exited non-zero"; exit 1; }
+WORKER_B_PID=""
+
+# The spool must be fully drained and consistent.
+[ -z "$(ls "$SPOOL/pending" 2>/dev/null)" ] || { echo "FAIL: pending not empty"; exit 1; }
+[ -z "$(ls "$SPOOL/claimed" 2>/dev/null)" ] || { echo "FAIL: claimed not empty"; exit 1; }
+[ -z "$(ls "$SPOOL/failed" 2>/dev/null)" ] || { echo "FAIL: job dead-lettered"; exit 1; }
+[ -n "$(ls "$SPOOL/done" 2>/dev/null)" ] || { echo "FAIL: done/ is empty"; exit 1; }
+grep -q '"status": *"done"' "$WORK/summary.json" || {
+  echo "FAIL: summary does not report the job done"; cat "$WORK/summary.json"; exit 1;
+}
+
+echo "PASS: crash mid-job, lease reclaimed, job completed exactly once more"

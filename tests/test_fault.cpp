@@ -1,0 +1,215 @@
+// util::FaultInjector + the atomic write door: config grammar, count-based
+// determinism, and the full fault matrix of atomic_write_file (write
+// failure with retry, torn write, crash-before-rename) plus the small
+// file primitives the spool protocol is built from.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/fault.hpp"
+
+namespace tegrec::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("tegrec_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------------------- injector
+
+TEST(FaultInjector, DefaultHasNothingArmedButStillCounts) {
+  FaultInjector faults;
+  EXPECT_FALSE(faults.armed());
+  EXPECT_FALSE(faults.should_fire("a.site"));
+  EXPECT_FALSE(faults.should_fire("a.site"));
+  EXPECT_EQ(faults.hits("a.site"), 2u);
+  EXPECT_EQ(faults.hits("never.hit"), 0u);
+}
+
+TEST(FaultInjector, SingleHitRangeAndOpenEndedGrammar) {
+  FaultInjector faults("a@2, b@2-3; c@2-, d@*");
+  EXPECT_TRUE(faults.armed());
+  // a fires on exactly the 2nd hit.
+  EXPECT_FALSE(faults.should_fire("a"));
+  EXPECT_TRUE(faults.should_fire("a"));
+  EXPECT_FALSE(faults.should_fire("a"));
+  // b fires on hits 2..3.
+  EXPECT_FALSE(faults.should_fire("b"));
+  EXPECT_TRUE(faults.should_fire("b"));
+  EXPECT_TRUE(faults.should_fire("b"));
+  EXPECT_FALSE(faults.should_fire("b"));
+  // c fires from the 2nd hit on.
+  EXPECT_FALSE(faults.should_fire("c"));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(faults.should_fire("c"));
+  // d fires always.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(faults.should_fire("d"));
+}
+
+TEST(FaultInjector, ReplaysIdenticallyFromTheSameConfig) {
+  // Determinism is the whole point: two injectors from one config string
+  // make identical decisions hit for hit.
+  const std::string config = "x@1-2;x@5,y@3-";
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.should_fire("x"), b.should_fire("x")) << "hit " << i + 1;
+    EXPECT_EQ(a.should_fire("y"), b.should_fire("y")) << "hit " << i + 1;
+  }
+}
+
+TEST(FaultInjector, MalformedConfigThrows) {
+  EXPECT_THROW(FaultInjector("no-at-sign"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector("site@"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector("@3"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector("site@abc"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector("site@0"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector("site@5-3"), std::invalid_argument);
+  // A valid prefix does not excuse a malformed tail.
+  EXPECT_THROW(FaultInjector("ok@1,bad@x"), std::invalid_argument);
+}
+
+TEST(FaultInjector, EmptyConfigAndSeparatorsAreHarmless) {
+  EXPECT_FALSE(FaultInjector("").armed());
+  EXPECT_FALSE(FaultInjector(" ,; ").armed());
+  EXPECT_TRUE(FaultInjector(" a@1 , ").armed());
+}
+
+// ------------------------------------------------------------ atomic door
+
+TEST(AtomicFile, WritesAndOverwritesAtomically) {
+  TempDir dir("atomic");
+  const std::string path = dir.path() + "/artifact.csv";
+  atomic_write_file(path, "first");
+  EXPECT_EQ(read_file_if_exists(path).value_or(""), "first");
+  atomic_write_file(path, "second, longer content");
+  EXPECT_EQ(read_file_if_exists(path).value_or(""), "second, longer content");
+  // No temp debris on the success path.
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicFile, WriteFailureIsRetriedUnderBackoff) {
+  TempDir dir("retry");
+  FaultInjector faults("door.write_fail@1-2");
+  AtomicWriteOptions options;
+  options.fault_site = "door";
+  options.faults = &faults;
+  options.retry.max_attempts = 3;
+  // Attempts 1 and 2 fail, attempt 3 lands.
+  atomic_write_file(dir.path() + "/f", "content", options);
+  EXPECT_EQ(read_file_if_exists(dir.path() + "/f").value_or(""), "content");
+  EXPECT_EQ(faults.hits("door.write_fail"), 3u);
+}
+
+TEST(AtomicFile, ExhaustedRetriesThrowAndPublishNothing) {
+  TempDir dir("exhaust");
+  FaultInjector faults("door.write_fail@*");
+  AtomicWriteOptions options;
+  options.fault_site = "door";
+  options.faults = &faults;
+  options.retry.max_attempts = 3;
+  EXPECT_THROW(atomic_write_file(dir.path() + "/f", "content", options),
+               std::runtime_error);
+  EXPECT_FALSE(read_file_if_exists(dir.path() + "/f").has_value());
+  EXPECT_EQ(faults.hits("door.write_fail"), 3u);
+}
+
+TEST(AtomicFile, TornFaultPublishesTruncatedContent) {
+  // The torn fault models a non-atomic writer: the reader must see exactly
+  // the truncated prefix (decode layers treat it as a miss / self-heal).
+  TempDir dir("torn");
+  FaultInjector faults("door.torn@1");
+  AtomicWriteOptions options;
+  options.fault_site = "door";
+  options.faults = &faults;
+  const std::string content = "0123456789";
+  atomic_write_file(dir.path() + "/f", content, options);
+  EXPECT_EQ(read_file_if_exists(dir.path() + "/f").value_or(""), "01234");
+}
+
+TEST(AtomicFile, CrashFaultAbandonsTempAndThrows) {
+  TempDir dir("crash");
+  FaultInjector faults("door.crash@1");
+  AtomicWriteOptions options;
+  options.fault_site = "door";
+  options.faults = &faults;
+  EXPECT_THROW(atomic_write_file(dir.path() + "/f", "content", options),
+               AtomicWriteCrash);
+  // The target never appeared; the orphaned temp is the only debris.
+  EXPECT_FALSE(read_file_if_exists(dir.path() + "/f").has_value());
+  std::size_t temps = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    EXPECT_NE(e.path().filename().string().find(".tmp-"), std::string::npos);
+    ++temps;
+  }
+  EXPECT_EQ(temps, 1u);
+  // ...and the orphan GC collects it.
+  EXPECT_EQ(remove_stale_temp_files(dir.path(), /*max_age_ms=*/0), 1u);
+  EXPECT_EQ(remove_stale_temp_files(dir.path(), 0), 0u);
+}
+
+TEST(AtomicFile, BackoffIsCappedExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 2;
+  policy.max_backoff_ms = 10;
+  EXPECT_EQ(backoff_delay_ms(policy, 0), 2u);
+  EXPECT_EQ(backoff_delay_ms(policy, 1), 4u);
+  EXPECT_EQ(backoff_delay_ms(policy, 2), 8u);
+  EXPECT_EQ(backoff_delay_ms(policy, 3), 10u);
+  EXPECT_EQ(backoff_delay_ms(policy, 30), 10u);
+}
+
+// -------------------------------------------------------- file primitives
+
+TEST(AtomicFile, CreateFileExclusiveIsSingleWinner) {
+  TempDir dir("excl");
+  const std::string path = dir.path() + "/marker";
+  EXPECT_TRUE(create_file_exclusive(path, "one"));
+  EXPECT_FALSE(create_file_exclusive(path, "two"));
+  EXPECT_EQ(read_file_if_exists(path).value_or(""), "one");
+}
+
+TEST(AtomicFile, RenameFileReportsLostRaces) {
+  TempDir dir("rename");
+  atomic_write_file(dir.path() + "/a", "x");
+  EXPECT_TRUE(rename_file(dir.path() + "/a", dir.path() + "/b"));
+  // Source is gone: a second claimant loses.
+  EXPECT_FALSE(rename_file(dir.path() + "/a", dir.path() + "/c"));
+  EXPECT_EQ(read_file_if_exists(dir.path() + "/b").value_or(""), "x");
+}
+
+TEST(AtomicFile, TouchFileBumpsExistingOnly) {
+  TempDir dir("touch");
+  atomic_write_file(dir.path() + "/f", "x");
+  EXPECT_TRUE(touch_file(dir.path() + "/f"));
+  EXPECT_FALSE(touch_file(dir.path() + "/missing"));
+}
+
+}  // namespace
+}  // namespace tegrec::util

@@ -139,6 +139,34 @@ TEST(LintApiIo, FiresOnConsoleIoButNotStringFormatting) {
   EXPECT_EQ(findings.size(), 3u) << dump(findings);
 }
 
+// ------------------------------------------------------------ raw-publish
+
+TEST(LintRawPublish, FiresOnOfstreamAndRenameButNotTheUtilDoor) {
+  const auto findings = scan_source("src/sim/bad_raw_publish.cpp",
+                                    fixture("bad_raw_publish.cpp"));
+  // std::ofstream (8), std::filesystem::rename (10), ::rename (11); the
+  // door wrappers rename_file/atomic_write_file and the allow()-suppressed
+  // ofstream must stay clean.
+  EXPECT_EQ(lines_of(findings, "raw-publish"),
+            (std::vector<std::size_t>{8, 10, 11}))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 3u) << dump(findings);
+}
+
+TEST(LintRawPublish, AppliesOnlyUnderSimLayer) {
+  // The same content under src/util (home of the sanctioned door) or under
+  // tools/ must not trip the rule — the funnel constrains the simulation
+  // layer, not the door's own implementation.
+  const auto util_findings = scan_source("src/util/bad_raw_publish.cpp",
+                                         fixture("bad_raw_publish.cpp"));
+  EXPECT_TRUE(lines_of(util_findings, "raw-publish").empty())
+      << dump(util_findings);
+  const auto tool_findings = scan_source("tools/bad_raw_publish.cpp",
+                                         fixture("bad_raw_publish.cpp"));
+  EXPECT_TRUE(lines_of(tool_findings, "raw-publish").empty())
+      << dump(tool_findings);
+}
+
 // ----------------------------------------------------------- header rules
 
 TEST(LintHeader, IfndefGuardAndUsingNamespaceAreFlagged) {

@@ -15,6 +15,8 @@
 #include "sim/service.hpp"
 #include "sim/spec.hpp"
 #include "sim/sweep.hpp"
+#include "util/atomic_file.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace tegrec::sim {
@@ -322,6 +324,100 @@ TEST(Service, CorruptDiskArtifactFallsBackToExecution) {
   EXPECT_EQ(service.executions(), 1u) << "corrupt artifact must re-simulate";
   EXPECT_EQ(service.disk_hits(), 0u);
   ASSERT_TRUE(result);
+}
+
+TEST(Service, SelfHealsCorruptArtifactsOffDisk) {
+  TempDir dir("selfheal");
+  ServiceOptions options;
+  options.cache_dir = dir.path();
+  const ExperimentSpec spec = comparison_spec();
+  const std::string path = dir.path() + "/" + spec.fingerprint() + ".csv";
+  {
+    ExperimentService service(options);
+    service.submit(spec).wait();
+    std::filesystem::resize_file(path, 64);
+    // The damaged artifact is removed the moment it fails to decode, so it
+    // can never be served again — and the re-execution republishes it.
+  }
+  ExperimentService service(options);
+  ASSERT_TRUE(service.submit(spec).wait());
+  EXPECT_EQ(service.executions(), 1u);
+  EXPECT_GT(std::filesystem::file_size(path), 64u)
+      << "re-execution must republish a whole artifact over the corrupt one";
+}
+
+// ------------------------------------------------- graceful degradation
+
+TEST(Service, UnwritableCacheDirDegradesToUncachedExecution) {
+  // The cache path sits *under a regular file* (ENOTCACHEDIR territory that
+  // even root cannot create), so every artifact publication fails.  The
+  // service must warn once, keep answering, and never fail a submit.
+  TempDir dir("rocache");
+  std::filesystem::create_directories(dir.path());
+  const std::string blocker = dir.path() + "/blocker";
+  util::atomic_write_file(blocker, "a file, not a directory");
+
+  ServiceOptions options;
+  options.cache_dir = blocker + "/cache";
+  std::vector<std::string> warnings;
+  options.warn = [&warnings](const std::string& m) { warnings.push_back(m); };
+  ExperimentService service(options);
+  ASSERT_TRUE(service.submit(comparison_spec(1)).wait());
+  ASSERT_TRUE(service.submit(comparison_spec(2)).wait());
+  EXPECT_EQ(service.executions(), 2u);
+  EXPECT_EQ(service.artifact_store().put_failures(), 2u);
+  ASSERT_EQ(warnings.size(), 1u) << "degradation warns once, not per job";
+  EXPECT_NE(warnings[0].find("degraded"), std::string::npos) << warnings[0];
+}
+
+TEST(Service, DiskFullDegradesToUncachedExecution) {
+  // ENOSPC modelled by the injector: every artifact write attempt fails,
+  // retries included.  Submissions keep succeeding from memory.
+  TempDir dir("enospc");
+  util::FaultInjector faults("artifact.write_fail@*");
+  ServiceOptions options;
+  options.cache_dir = dir.path();
+  options.faults = &faults;
+  std::vector<std::string> warnings;
+  options.warn = [&warnings](const std::string& m) { warnings.push_back(m); };
+
+  ExperimentService service(options);
+  const ExperimentSpec spec = comparison_spec();
+  ASSERT_TRUE(service.submit(spec).wait());
+  EXPECT_EQ(service.executions(), 1u);
+  EXPECT_EQ(warnings.size(), 1u);
+  // Nothing reached disk — a fresh service re-executes — but this service
+  // still serves the job from memory.
+  EXPECT_TRUE(service.submit(spec).wait());
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_FALSE(
+      std::filesystem::exists(dir.path() + "/" + spec.fingerprint() + ".csv"));
+}
+
+TEST(Service, CacheMaxBytesBoundsTheArtifactStore) {
+  const ExperimentSpec first = comparison_spec(1);
+  std::uintmax_t artifact_size = 0;
+  {
+    TempDir dir("capsize");
+    ServiceOptions options;
+    options.cache_dir = dir.path();
+    ExperimentService service(options);
+    service.submit(first).wait();
+    artifact_size = std::filesystem::file_size(dir.path() + "/" +
+                                               first.fingerprint() + ".csv");
+  }
+
+  TempDir dir("capped");
+  ServiceOptions options;
+  options.cache_dir = dir.path();
+  // Room for roughly two artifacts; the third forces an LRU eviction.
+  options.cache_max_bytes = 2 * artifact_size + 256;
+  ExperimentService service(options);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ASSERT_TRUE(service.submit(comparison_spec(seed)).wait());
+  }
+  EXPECT_LE(service.artifact_store().total_bytes(), options.cache_max_bytes);
+  EXPECT_GE(service.artifact_store().evictions(), 1u);
 }
 
 TEST(Service, CsvSourcesAreContentAddressedAtSubmitTime) {

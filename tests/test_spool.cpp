@@ -1,0 +1,585 @@
+// SpoolQueue + SpoolWorker + ArtifactStore: the crash-safe multi-process
+// farm protocol, driven in-process.  Staleness uses an injectable fake
+// clock (no sleeps), crashes use the deterministic fault injector, and
+// "processes" are SpoolQueue/worker instances with separate observation
+// state — the on-disk protocol is identical.
+// GCC 12's -O3 middle end raises false-positive -Wrestrict reports from
+// inlined std::string concatenation in the store-cap loop (GCC PR105329
+// family) — suppress for this test TU only, as tools/tegrec_cli.cpp does.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/artifact_store.hpp"
+#include "sim/result_io.hpp"
+#include "sim/service.hpp"
+#include "sim/spec.hpp"
+#include "sim/spool.hpp"
+#include "util/fault.hpp"
+
+namespace tegrec::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("tegrec_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+ExperimentSpec comparison_spec(std::uint64_t seed = 3) {
+  ExperimentSpec spec;
+  spec.kind = ExperimentKind::kComparison;
+  spec.trace.kind = TraceSource::Kind::kGenerated;
+  spec.trace.generator.layout.num_modules = 24;
+  spec.trace.generator.segments = {
+      {thermal::DriveSegment::Kind::kUrban, 25.0, 30.0, 0.0}};
+  spec.trace.generator.seed = seed;
+  spec.comparison.include_inor = false;
+  spec.comparison.include_ehtr = false;
+  return spec;
+}
+
+/// Deterministic-field equality for the comparison kind (timing fields are
+/// measured wall clock and legitimately differ across executions).
+void expect_comparisons_equal(const ExperimentResult& a,
+                              const ExperimentResult& b) {
+  ASSERT_EQ(a.kind, ExperimentKind::kComparison);
+  ASSERT_EQ(b.kind, ExperimentKind::kComparison);
+  ASSERT_EQ(a.comparison.runs.size(), b.comparison.runs.size());
+  for (std::size_t i = 0; i < a.comparison.runs.size(); ++i) {
+    const SimulationResult& ra = a.comparison.runs[i];
+    const SimulationResult& rb = b.comparison.runs[i];
+    EXPECT_EQ(ra.algorithm, rb.algorithm);
+    EXPECT_EQ(ra.energy_output_j, rb.energy_output_j);
+    EXPECT_EQ(ra.switch_overhead_j, rb.switch_overhead_j);
+    EXPECT_EQ(ra.ideal_energy_j, rb.ideal_energy_j);
+    EXPECT_EQ(ra.num_switch_events, rb.num_switch_events);
+    EXPECT_EQ(ra.final_soc, rb.final_soc);
+    ASSERT_EQ(ra.steps.size(), rb.steps.size());
+    for (std::size_t s = 0; s < ra.steps.size(); ++s) {
+      EXPECT_EQ(ra.steps[s].net_power_w, rb.steps[s].net_power_w);
+      EXPECT_EQ(ra.steps[s].overhead_energy_j, rb.steps[s].overhead_energy_j);
+    }
+  }
+}
+
+SpoolOptions spool_options(const TempDir& dir,
+                           util::FaultInjector* faults = nullptr) {
+  SpoolOptions options;
+  options.root = dir.sub("spool");
+  if (faults != nullptr) options.faults = faults;
+  return options;
+}
+
+ArtifactStoreOptions store_options(const TempDir& dir,
+                                   util::FaultInjector* faults = nullptr) {
+  ArtifactStoreOptions options;
+  options.dir = dir.sub("cache");
+  if (faults != nullptr) options.faults = faults;
+  return options;
+}
+
+// ------------------------------------------------------------ enqueue/claim
+
+TEST(Spool, EnqueueIsIdempotentAndContentAddressed) {
+  TempDir dir("spool_enqueue");
+  SpoolQueue queue(spool_options(dir));
+  const std::string id1 = queue.enqueue(comparison_spec(3));
+  const std::string id2 = queue.enqueue(comparison_spec(3));
+  const std::string id3 = queue.enqueue(comparison_spec(4));
+  EXPECT_EQ(id1, id2);
+  EXPECT_NE(id1, id3);
+  EXPECT_EQ(queue.list(SpoolJobState::kPending).size(), 2u);
+  EXPECT_EQ(queue.state(id1), SpoolJobState::kPending);
+
+  // The job file IS the canonical text.
+  const ExperimentSpec round_trip = ExperimentSpec::from_text(
+      *util::read_file_if_exists(queue.root() + "/pending/" + id1 + ".spec"));
+  EXPECT_EQ(round_trip.fingerprint(), id1);
+}
+
+TEST(Spool, NonGeneratedSourcesAreRejectedAtEnqueue) {
+  TempDir dir("spool_reject");
+  SpoolQueue queue(spool_options(dir));
+  ExperimentSpec csv_spec = comparison_spec();
+  csv_spec.trace.kind = TraceSource::Kind::kCsvFile;
+  csv_spec.trace.csv_path = "/nonexistent.csv";
+  EXPECT_THROW(queue.enqueue(csv_spec), std::invalid_argument);
+  ExperimentSpec inline_spec = comparison_spec();
+  inline_spec.trace.kind = TraceSource::Kind::kInline;
+  EXPECT_THROW(queue.enqueue(inline_spec), std::invalid_argument);
+  EXPECT_TRUE(queue.list(SpoolJobState::kPending).empty());
+}
+
+TEST(Spool, ClaimIsSingleWinnerAndCarriesTheLease) {
+  TempDir dir("spool_claim");
+  SpoolQueue worker_a(spool_options(dir));
+  SpoolQueue worker_b(spool_options(dir));
+  const std::string id = worker_a.enqueue(comparison_spec());
+
+  const auto claim = worker_a.try_claim("alice");
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->id, id);
+  EXPECT_EQ(ExperimentSpec::from_text(claim->spec_text).fingerprint(), id);
+  EXPECT_EQ(worker_a.state(id), SpoolJobState::kClaimed);
+  EXPECT_EQ(worker_a.status(id).owner, "alice");
+
+  // The queue is drained: a second worker finds nothing.
+  EXPECT_FALSE(worker_b.try_claim("bob").has_value());
+
+  worker_a.complete(id);
+  EXPECT_EQ(worker_b.state(id), SpoolJobState::kDone);
+  // complete() is idempotent and lease-free afterwards.
+  worker_a.complete(id);
+  EXPECT_FALSE(
+      util::read_file_if_exists(worker_a.root() + "/claimed/" + id + ".lease")
+          .has_value());
+}
+
+// -------------------------------------------------------- stale reclaim
+
+TEST(Spool, StaleLeaseIsReclaimedOnlyAfterAFullQuietWindow) {
+  TempDir dir("spool_stale");
+  std::uint64_t fake_now = 1000;
+  SpoolOptions options = spool_options(dir);
+  options.stale_after_ms = 500;
+  options.now_ms = [&fake_now] { return fake_now; };
+  SpoolQueue observer(options);
+
+  SpoolQueue owner(spool_options(dir));
+  const std::string id = owner.enqueue(comparison_spec());
+  ASSERT_TRUE(owner.try_claim("doomed").has_value());
+
+  // First sighting only records the observation.
+  EXPECT_EQ(observer.reclaim_stale(), 0u);
+  // Inside the window: still not stale.
+  fake_now += 499;
+  EXPECT_EQ(observer.reclaim_stale(), 0u);
+  // Window elapsed with an unchanged lease: reclaimed, one attempt marker.
+  fake_now += 1;
+  EXPECT_EQ(observer.reclaim_stale(), 1u);
+  EXPECT_EQ(observer.state(id), SpoolJobState::kPending);
+  EXPECT_EQ(observer.failed_attempts(id), 1u);
+  EXPECT_FALSE(
+      util::read_file_if_exists(observer.root() + "/claimed/" + id + ".lease")
+          .has_value());
+}
+
+TEST(Spool, HeartbeatDefersReclaim) {
+  TempDir dir("spool_heartbeat");
+  std::uint64_t fake_now = 1000;
+  SpoolOptions options = spool_options(dir);
+  options.stale_after_ms = 500;
+  options.now_ms = [&fake_now] { return fake_now; };
+  SpoolQueue observer(options);
+
+  SpoolQueue owner(spool_options(dir));
+  const std::string id = owner.enqueue(comparison_spec());
+  ASSERT_TRUE(owner.try_claim("alive").has_value());
+
+  EXPECT_EQ(observer.reclaim_stale(), 0u);
+  fake_now += 400;
+  owner.heartbeat(id, "alive");  // lease content changes
+  fake_now += 400;               // 800ms since first sighting, 400 since beat
+  EXPECT_EQ(observer.reclaim_stale(), 0u) << "changed lease must reset window";
+  fake_now += 500;  // a full quiet window after the last beat
+  EXPECT_EQ(observer.reclaim_stale(), 1u);
+}
+
+TEST(Spool, DroppedHeartbeatsLookStaleDespiteALiveOwner) {
+  // spool.heartbeat.drop models a frozen worker: heartbeat() is called but
+  // nothing reaches disk, so observers reclaim the job from under it.
+  TempDir dir("spool_hbdrop");
+  util::FaultInjector faults("spool.heartbeat.drop@*");
+  std::uint64_t fake_now = 1000;
+  SpoolOptions options = spool_options(dir);
+  options.stale_after_ms = 500;
+  options.now_ms = [&fake_now] { return fake_now; };
+  SpoolQueue observer(options);
+
+  SpoolOptions owner_options = spool_options(dir, &faults);
+  SpoolQueue owner(owner_options);
+  const std::string id = owner.enqueue(comparison_spec());
+  ASSERT_TRUE(owner.try_claim("frozen").has_value());
+  const std::string lease_before =
+      util::read_file_if_exists(owner.root() + "/claimed/" + id + ".lease")
+          .value_or("");
+
+  EXPECT_EQ(observer.reclaim_stale(), 0u);
+  owner.heartbeat(id, "frozen");
+  owner.heartbeat(id, "frozen");
+  EXPECT_EQ(
+      util::read_file_if_exists(owner.root() + "/claimed/" + id + ".lease")
+          .value_or(""),
+      lease_before)
+      << "dropped heartbeats must not reach disk";
+  fake_now += 500;
+  EXPECT_EQ(observer.reclaim_stale(), 1u);
+}
+
+TEST(Spool, MaintenanceSweepsCrashedWritersTemps) {
+  // A SIGKILLed worker can die between writing a lease temp and renaming
+  // it into place; the orphan must not survive the next reclaim pass.
+  TempDir dir("spool_sweep");
+  SpoolOptions options = spool_options(dir);
+  options.stale_after_ms = 0;  // every temp is immediately debris
+  SpoolQueue queue(options);
+  util::atomic_write_file(queue.root() + "/claimed/x.lease.tmp-999-0", "owner");
+  util::atomic_write_file(queue.root() + "/pending/y.spec.tmp-999-1", "kind");
+  EXPECT_EQ(queue.maintenance(), 2u);
+  EXPECT_EQ(queue.maintenance(), 0u);
+
+  // reclaim_stale() runs the sweep as part of its pass.
+  util::atomic_write_file(queue.root() + "/claimed/z.lease.tmp-999-2", "owner");
+  EXPECT_EQ(queue.reclaim_stale(), 0u);
+  EXPECT_FALSE(
+      util::read_file_if_exists(queue.root() + "/claimed/z.lease.tmp-999-2")
+          .has_value());
+}
+
+// --------------------------------------------------------- dead-lettering
+
+TEST(Spool, RepeatedFailuresDeadLetterWithAReasonFile) {
+  TempDir dir("spool_dead");
+  SpoolOptions options = spool_options(dir);
+  options.max_attempts = 2;
+  SpoolQueue queue(options);
+  const std::string id = queue.enqueue(comparison_spec());
+
+  ASSERT_TRUE(queue.try_claim("w").has_value());
+  EXPECT_FALSE(queue.fail_attempt(id, "boom one"));
+  EXPECT_EQ(queue.state(id), SpoolJobState::kPending);
+  EXPECT_EQ(queue.failed_attempts(id), 1u);
+
+  ASSERT_TRUE(queue.try_claim("w").has_value());
+  EXPECT_TRUE(queue.fail_attempt(id, "boom two"));
+  EXPECT_EQ(queue.state(id), SpoolJobState::kFailed);
+  EXPECT_EQ(queue.failed_attempts(id), 2u);
+  const std::string reason = queue.failure_reason(id).value_or("");
+  EXPECT_NE(reason.find("boom two"), std::string::npos) << reason;
+
+  // A dead job is not claimable and not re-enqueueable (idempotence).
+  EXPECT_FALSE(queue.try_claim("w").has_value());
+  queue.enqueue(comparison_spec());
+  EXPECT_EQ(queue.state(id), SpoolJobState::kFailed);
+}
+
+TEST(Spool, ReclaimDeadLettersOnceAttemptsAreExhausted) {
+  TempDir dir("spool_reclaim_dead");
+  std::uint64_t fake_now = 1000;
+  SpoolOptions options = spool_options(dir);
+  options.stale_after_ms = 100;
+  options.max_attempts = 2;
+  options.now_ms = [&fake_now] { return fake_now; };
+  SpoolQueue queue(options);
+  const std::string id = queue.enqueue(comparison_spec());
+
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(queue.try_claim("crashy").has_value()) << round;
+    EXPECT_EQ(queue.reclaim_stale(), 0u);  // observation only
+    fake_now += 100;
+    EXPECT_EQ(queue.reclaim_stale(), 1u) << round;
+  }
+  EXPECT_EQ(queue.state(id), SpoolJobState::kFailed);
+  EXPECT_EQ(queue.failed_attempts(id), 2u);
+  EXPECT_NE(queue.failure_reason(id).value_or("").find("crashy"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- the worker
+
+TEST(SpoolWorker, ExecutesAndPublishesBitIdenticalToInProcessService) {
+  TempDir dir("spool_exec");
+  const ExperimentSpec spec = comparison_spec();
+  const ExperimentResult direct = run_experiment(spec);
+
+  SpoolQueue queue(spool_options(dir));
+  ArtifactStore store(store_options(dir));
+  const std::string id = queue.enqueue(spec);
+
+  SpoolWorkerOptions worker_options;
+  worker_options.owner = "w1";
+  SpoolWorker worker(queue, store, worker_options);
+  ASSERT_TRUE(worker.run_one());
+  EXPECT_EQ(worker.stats().executed, 1u);
+  EXPECT_EQ(queue.state(id), SpoolJobState::kDone);
+
+  // The published artifact decodes to the direct run's deterministic
+  // fields...
+  const auto artifact = store.get(id);
+  ASSERT_TRUE(artifact.has_value());
+  const auto decoded = decode_result(*artifact, spec.fingerprint_text());
+  ASSERT_TRUE(decoded.has_value());
+  expect_comparisons_equal(direct, *decoded);
+
+  // ...and the in-process service treats it as a disk hit (the farm and
+  // the service share one artifact namespace).
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.cache_dir = store.dir();
+  ExperimentService service(service_options);
+  const auto via_service = service.submit(spec).wait();
+  ASSERT_TRUE(via_service);
+  EXPECT_EQ(service.disk_hits(), 1u);
+  EXPECT_EQ(service.executions(), 0u);
+  expect_comparisons_equal(direct, *via_service);
+}
+
+TEST(SpoolWorker, AlreadyPublishedJobsCompleteWithoutExecution) {
+  TempDir dir("spool_cached");
+  const ExperimentSpec spec = comparison_spec();
+
+  // The in-process service publishes the artifact first...
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.cache_dir = dir.sub("cache");
+  {
+    ExperimentService service(service_options);
+    ASSERT_TRUE(service.submit(spec).wait());
+  }
+
+  // ...so the farm worker recognises the job as done work.
+  SpoolQueue queue(spool_options(dir));
+  ArtifactStore store(store_options(dir));
+  const std::string id = queue.enqueue(spec);
+  SpoolWorker worker(queue, store, {});
+  ASSERT_TRUE(worker.run_one());
+  EXPECT_EQ(worker.stats().store_hits, 1u);
+  EXPECT_EQ(worker.stats().executed, 0u);
+  EXPECT_EQ(queue.state(id), SpoolJobState::kDone);
+}
+
+TEST(SpoolWorker, TwoWorkersShareTheQueueWithoutDoubleExecution) {
+  TempDir dir("spool_two");
+  SpoolQueue producer(spool_options(dir));
+  std::vector<std::string> ids;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ids.push_back(producer.enqueue(comparison_spec(seed)));
+  }
+
+  // Two workers with independent queue views (as two processes would
+  // have), racing over one spool on disk.  Run under TSan in CI.
+  SpoolQueue queue_a(spool_options(dir));
+  SpoolQueue queue_b(spool_options(dir));
+  ArtifactStore store_a(store_options(dir));
+  ArtifactStore store_b(store_options(dir));
+  SpoolWorkerOptions options_a;
+  options_a.owner = "a";
+  options_a.idle_exit_ms = 200;
+  options_a.poll_ms = 10;
+  SpoolWorkerOptions options_b = options_a;
+  options_b.owner = "b";
+  SpoolWorker worker_a(queue_a, store_a, options_a);
+  SpoolWorker worker_b(queue_b, store_b, options_b);
+
+  SpoolWorkerStats stats_a;
+  SpoolWorkerStats stats_b;
+  std::thread thread_a([&] { stats_a = worker_a.run(); });
+  std::thread thread_b([&] { stats_b = worker_b.run(); });
+  thread_a.join();
+  thread_b.join();
+
+  // Every job done exactly once across the pair; no attempt markers, no
+  // failures, no dead letters.
+  EXPECT_EQ(stats_a.completed + stats_b.completed, ids.size());
+  EXPECT_EQ(stats_a.executed + stats_b.executed, ids.size());
+  EXPECT_EQ(stats_a.failures + stats_b.failures, 0u);
+  for (const std::string& id : ids) {
+    EXPECT_EQ(producer.state(id), SpoolJobState::kDone) << id;
+    EXPECT_EQ(producer.failed_attempts(id), 0u) << id;
+    EXPECT_TRUE(store_a.get(id).has_value()) << id;
+  }
+  EXPECT_TRUE(producer.list(SpoolJobState::kPending).empty());
+  EXPECT_TRUE(producer.list(SpoolJobState::kClaimed).empty());
+}
+
+TEST(SpoolWorker, CrashBeforePublishIsRecoveredByASecondWorker) {
+  TempDir dir("spool_crash");
+  const ExperimentSpec spec = comparison_spec();
+  const ExperimentResult direct = run_experiment(spec);
+
+  std::uint64_t fake_now = 1000;
+  SpoolOptions reclaimer_options = spool_options(dir);
+  reclaimer_options.stale_after_ms = 100;
+  reclaimer_options.now_ms = [&fake_now] { return fake_now; };
+
+  // Worker A dies (simulated) between writing the artifact temp and the
+  // rename: AtomicWriteCrash propagates like the kill -9 it models.
+  {
+    util::FaultInjector faults("artifact.crash@1");
+    SpoolQueue queue_a(spool_options(dir));
+    ArtifactStore store_a(store_options(dir, &faults));
+    const std::string id = queue_a.enqueue(spec);
+    SpoolWorkerOptions options_a;
+    options_a.owner = "a";
+    SpoolWorker worker_a(queue_a, store_a, options_a);
+    EXPECT_THROW(worker_a.run_one(), util::AtomicWriteCrash);
+    EXPECT_EQ(queue_a.state(id), SpoolJobState::kClaimed)
+        << "the dead worker's claim survives it";
+  }
+
+  // A reclaimer notices the frozen lease and requeues the job; worker B
+  // completes it.  The abandoned temp never shadows the real artifact and
+  // maintenance() sweeps it.
+  SpoolQueue reclaimer(reclaimer_options);
+  EXPECT_EQ(reclaimer.reclaim_stale(), 0u);
+  fake_now += 100;
+  EXPECT_EQ(reclaimer.reclaim_stale(), 1u);
+
+  SpoolQueue queue_b(spool_options(dir));
+  ArtifactStore store_b(store_options(dir));
+  SpoolWorkerOptions options_b;
+  options_b.owner = "b";
+  SpoolWorker worker_b(queue_b, store_b, options_b);
+  ASSERT_TRUE(worker_b.run_one());
+
+  const std::string id = queue_b.list(SpoolJobState::kDone).at(0);
+  EXPECT_EQ(worker_b.stats().executed, 1u);
+  const auto decoded =
+      decode_result(store_b.get(id).value_or(""), spec.fingerprint_text());
+  ASSERT_TRUE(decoded.has_value());
+  expect_comparisons_equal(direct, *decoded);
+
+  ArtifactStoreOptions gc_options = store_options(dir);
+  gc_options.temp_max_age_ms = 0;
+  ArtifactStore gc(gc_options);
+  EXPECT_EQ(gc.maintenance(), 1u) << "exactly the crashed writer's temp";
+}
+
+TEST(SpoolWorker, TornArtifactSelfHealsOnReclaim) {
+  TempDir dir("spool_torn");
+  const ExperimentSpec spec = comparison_spec();
+  SpoolQueue queue(spool_options(dir));
+  const std::string id = queue.enqueue(spec);
+
+  // A torn artifact for this job is already on disk (a legacy writer or
+  // damaged medium); it must be detected, removed, and re-simulated —
+  // never served.
+  {
+    util::FaultInjector faults("artifact.torn@1");
+    ArtifactStore torn_store(store_options(dir, &faults));
+    const ExperimentResult direct = run_experiment(spec);
+    ASSERT_TRUE(
+        torn_store.put(id, encode_result(direct, spec.fingerprint_text())));
+    EXPECT_FALSE(
+        decode_result(torn_store.get(id).value_or(""), spec.fingerprint_text())
+            .has_value())
+        << "fixture: the stored artifact must actually be torn";
+  }
+
+  ArtifactStore store(store_options(dir));
+  SpoolWorker worker(queue, store, {});
+  ASSERT_TRUE(worker.run_one());
+  EXPECT_EQ(worker.stats().executed, 1u) << "torn artifact must not store-hit";
+  EXPECT_EQ(queue.state(id), SpoolJobState::kDone);
+  EXPECT_TRUE(
+      decode_result(store.get(id).value_or(""), spec.fingerprint_text())
+          .has_value())
+      << "healed artifact decodes cleanly";
+}
+
+TEST(SpoolWorker, ExecutionFailuresAreRecordedNotFatal) {
+  TempDir dir("spool_badjob");
+  SpoolOptions options = spool_options(dir);
+  options.max_attempts = 1;  // dead-letter on the first failure
+  SpoolQueue queue(options);
+  // Hand-plant a pending job whose spec text does not parse: from_text
+  // throws inside the worker, which must record the failure and move on.
+  util::atomic_write_file(queue.root() + "/pending/deadbeef.spec",
+                          "kind = nonsense\n");
+  ArtifactStore store(store_options(dir));
+  SpoolWorker worker(queue, store, {});
+  ASSERT_TRUE(worker.run_one());
+  EXPECT_EQ(worker.stats().failures, 1u);
+  EXPECT_EQ(queue.state("deadbeef"), SpoolJobState::kFailed);
+  EXPECT_FALSE(queue.failure_reason("deadbeef").value_or("").empty());
+}
+
+// -------------------------------------------------------- bounded store
+
+TEST(ArtifactStore, EvictsLeastRecentlyUsedToStayUnderTheCap) {
+  TempDir dir("store_evict");
+  ArtifactStoreOptions options;
+  options.dir = dir.sub("cache");
+  const std::string payload(4096, 'x');
+  options.max_bytes = 2 * payload.size() + 16;  // room for two artifacts
+  ArtifactStore store(options);
+
+  ASSERT_TRUE(store.put("aa", payload));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(store.put("bb", payload));
+  EXPECT_LE(store.total_bytes(), options.max_bytes);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Touch "aa" so "bb" is the LRU victim when "cc" arrives.
+  EXPECT_TRUE(store.get("aa").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(store.put("cc", payload));
+
+  EXPECT_LE(store.total_bytes(), options.max_bytes);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_TRUE(store.get("aa").has_value());
+  EXPECT_FALSE(store.get("bb").has_value()) << "bb was least recently used";
+  EXPECT_TRUE(store.get("cc").has_value());
+}
+
+TEST(ArtifactStore, NeverExceedsTheCapAcrossManyPuts) {
+  TempDir dir("store_cap");
+  ArtifactStoreOptions options;
+  options.dir = dir.sub("cache");
+  options.max_bytes = 10'000;
+  ArtifactStore store(options);
+  const std::string payload(3000, 'y');
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store.put("k" + std::to_string(i), payload));
+    EXPECT_LE(store.total_bytes(), options.max_bytes) << "after put " << i;
+  }
+}
+
+TEST(ArtifactStore, PutFailureWarnsOnceAndDegrades) {
+  TempDir dir("store_degrade");
+  util::FaultInjector faults("artifact.write_fail@*");  // ENOSPC forever
+  ArtifactStoreOptions options;
+  options.dir = dir.sub("cache");
+  options.faults = &faults;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 0;
+  std::vector<std::string> warnings;
+  options.warn = [&warnings](const std::string& m) { warnings.push_back(m); };
+  ArtifactStore store(options);
+
+  EXPECT_FALSE(store.put("k1", "v"));
+  EXPECT_FALSE(store.put("k2", "v"));
+  EXPECT_EQ(store.put_failures(), 2u);
+  ASSERT_EQ(warnings.size(), 1u) << "degradation warns exactly once";
+  EXPECT_NE(warnings[0].find("degraded"), std::string::npos) << warnings[0];
+  EXPECT_FALSE(store.get("k1").has_value());
+}
+
+}  // namespace
+}  // namespace tegrec::sim

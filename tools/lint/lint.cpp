@@ -249,6 +249,16 @@ const TokenRule kDeterminismTokens[] = {
     {"gmtime", true, "wall clock is banned in simulation layers"},
 };
 
+const TokenRule kRawPublishTokens[] = {
+    {"ofstream", false,
+     "files other processes observe must be published through "
+     "util::atomic_write_file (temp+fsync+rename), not written in place"},
+    {"rename", true,
+     "claim/publish renames must go through util/atomic_file.hpp "
+     "(rename_file / atomic_write_file) so the protocol stays in one "
+     "audited door"},
+};
+
 const TokenRule kApiIoTokens[] = {
     {"cout", false, "library code must not write to the console"},
     {"cerr", false, "library code must not write to the console"},
@@ -541,9 +551,19 @@ std::vector<Finding> scan_source(const std::string& relpath,
                   options.determinism_dirs.end(),
                   [&](const std::string& d) { return starts_with(relpath, d); });
 
+  const bool in_raw_publish_scope =
+      std::any_of(options.raw_publish_dirs.begin(),
+                  options.raw_publish_dirs.end(),
+                  [&](const std::string& d) { return starts_with(relpath, d); });
+
   if (in_determinism_scope) {
     scan_token_rules("determinism", kDeterminismTokens,
                      std::size(kDeterminismTokens), relpath, stripped_lines,
+                     allows, findings);
+  }
+  if (in_raw_publish_scope) {
+    scan_token_rules("raw-publish", kRawPublishTokens,
+                     std::size(kRawPublishTokens), relpath, stripped_lines,
                      allows, findings);
   }
   scan_float_eq(relpath, stripped_lines, allows, findings);

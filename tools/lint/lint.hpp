@@ -29,6 +29,13 @@
 //  * api-io        — no std::cout/printf-family console I/O in library
 //                    code under src/ (snprintf-style string formatting is
 //                    fine).
+//  * raw-publish   — no raw file publication (std::ofstream writes or
+//                    rename calls) in the simulation layer (src/sim).
+//                    Files other processes can observe — spool jobs,
+//                    leases, cached result artifacts — must go through the
+//                    atomic temp+fsync+rename door in util/atomic_file.hpp
+//                    so a crash or concurrent reader can never see a torn
+//                    file.  (util's own door wrappers are the allowlist.)
 //  * using-namespace — no `using namespace` in headers.
 //  * include-guard — headers use `#pragma once` (the project standard),
 //                    not ifndef guards, and never nothing.
@@ -83,6 +90,10 @@ struct Options {
   std::vector<std::string> determinism_dirs = {
       "src/core/", "src/teg/", "src/sim/",
       "src/thermal/", "src/power/", "src/predict/"};
+  /// Directory prefixes where the raw-publish rule applies: the layers
+  /// whose files are observed by concurrent processes (spool jobs, cached
+  /// artifacts).  src/util hosts the sanctioned atomic door and is exempt.
+  std::vector<std::string> raw_publish_dirs = {"src/sim/"};
 };
 
 /// Scans one file's content.  `relpath` (repo-relative, '/'-separated)

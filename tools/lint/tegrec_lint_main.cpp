@@ -34,6 +34,9 @@ void print_rules() {
       << "                   in src/sim/spec.cpp's canonical-text bindings\n"
       << "  api-io           no console I/O (std::cout/printf family) in "
          "library code\n"
+      << "  raw-publish      no raw file publication (std::ofstream / rename "
+         "calls) in src/sim;\n"
+      << "                   use the atomic door in util/atomic_file.hpp\n"
       << "  using-namespace  no 'using namespace' in headers\n"
       << "  include-guard    headers use #pragma once\n"
       << "\ncache-key covers these structs:\n";

@@ -12,7 +12,8 @@
 //                         [--modules N] [--duration T] [--threads W]
 //                         [--cache DIR]
 //   tegrec_cli batch      --specs <dir-or-file> [--jobs J] [--cache DIR]
-//                         [--json]
+//                         [--json] [--spool DIR ...]
+//   tegrec_cli worker     --spool DIR --cache DIR [--owner ID] ...
 //
 // `scenarios` lists the named workload library (thermal/scenario.hpp);
 // `trace` synthesises a workload and writes the per-module temperature CSV;
@@ -22,7 +23,13 @@
 // the multi-core DNOR-vs-baseline study across seeds; `batch` runs a whole
 // directory of ExperimentSpec files concurrently through one
 // ExperimentService, with per-job progress on stderr and a machine-readable
-// summary (--json) on stdout.  Anywhere a `--scenario` is accepted the
+// summary (--json) on stdout.  With --spool, `batch` becomes the producer
+// side of the crash-safe multi-process farm (docs/farm.md): specs are
+// enqueued onto the spool directory and results collected from the shared
+// artifact store, while any number of `worker` processes — on this machine
+// or others sharing the filesystem — claim, execute, and publish jobs;
+// workers drain gracefully on SIGTERM/SIGINT and recover each other's
+// crashes via lease reclaim.  Anywhere a `--scenario` is accepted the
 // resulting spec carries the scenario name into its canonical text, so
 // repeated runs of the same scenario are cache hits.
 //
@@ -39,8 +46,10 @@
 #endif
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -52,15 +61,22 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "predict/bpnn.hpp"
 #include "predict/evaluate.hpp"
 #include "predict/holt.hpp"
 #include "predict/mlr.hpp"
 #include "predict/svr.hpp"
+#include "sim/artifact_store.hpp"
 #include "sim/experiment.hpp"
+#include "sim/result_io.hpp"
 #include "sim/results.hpp"
 #include "sim/service.hpp"
 #include "sim/spec.hpp"
+#include "sim/spool.hpp"
 #include "thermal/scenario.hpp"
 #include "thermal/trace.hpp"
 #include "util/json.hpp"
@@ -447,11 +463,215 @@ std::vector<std::string> collect_spec_files(const std::string& path) {
   return files;
 }
 
+// ------------------------------------------------------- spool farm modes
+
+/// Graceful-drain flag for `worker`: SIGTERM/SIGINT finish the job in
+/// flight, then exit.  (Lock-free store from the handler is async-signal
+/// safe; everything else happens on the main thread.)
+std::atomic<bool> g_worker_stop{false};
+
+extern "C" void worker_stop_handler(int) {
+  g_worker_stop.store(true, std::memory_order_relaxed);
+}
+
+std::string default_owner() {
+#if defined(__unix__) || defined(__APPLE__)
+  return "pid-" + std::to_string(static_cast<long>(::getpid()));
+#else
+  return "worker";
+#endif
+}
+
+sim::SpoolQueue open_spool(const FlagMap& flags) {
+  sim::SpoolOptions options;
+  options.root = flag_or(flags, "spool", "");
+  if (options.root.empty()) throw std::invalid_argument("missing --spool DIR");
+  options.stale_after_ms = flag_u64(flags, "stale-ms", options.stale_after_ms);
+  options.max_attempts =
+      flag_size(flags, "max-attempts", options.max_attempts);
+  return sim::SpoolQueue(std::move(options));
+}
+
+sim::ArtifactStoreOptions spool_store_options(const FlagMap& flags) {
+  sim::ArtifactStoreOptions options;
+  options.dir = flag_or(flags, "cache", "");
+  if (options.dir.empty()) {
+    throw std::invalid_argument(
+        "missing --cache DIR (the spool farm publishes results to a shared "
+        "artifact store)");
+  }
+  options.max_bytes = flag_u64(flags, "cache-max-bytes", 0);
+  return options;
+}
+
+int cmd_worker(const FlagMap& flags) {
+  sim::SpoolQueue queue = open_spool(flags);
+  sim::ArtifactStore store(spool_store_options(flags));
+  store.maintenance();  // GC temp orphans / trim an over-cap store upfront
+  queue.maintenance();  // ...and sweep crashed writers' temps off the spool
+
+  sim::SpoolWorkerOptions options;
+  options.owner = flag_or(flags, "owner", default_owner());
+  options.heartbeat_ms = flag_u64(flags, "heartbeat-ms", options.heartbeat_ms);
+  options.poll_ms = flag_u64(flags, "poll-ms", options.poll_ms);
+  options.idle_exit_ms = flag_u64(flags, "idle-exit-ms", 0);
+  options.max_jobs = flag_size(flags, "max-jobs", 0);
+  options.stop_flag = &g_worker_stop;
+
+  std::signal(SIGTERM, worker_stop_handler);
+  std::signal(SIGINT, worker_stop_handler);
+
+  std::fprintf(stderr, "worker %s: spool %s, store %s\n",
+               options.owner.c_str(), queue.root().c_str(),
+               store.dir().c_str());
+  sim::SpoolWorker worker(queue, store, options);
+  const sim::SpoolWorkerStats stats = worker.run();
+  std::fprintf(stderr,
+               "worker %s: %llu completed (%llu executed, %llu store hits), "
+               "%llu failed attempts, %llu reclaimed%s\n",
+               options.owner.c_str(),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.executed),
+               static_cast<unsigned long long>(stats.store_hits),
+               static_cast<unsigned long long>(stats.failures),
+               static_cast<unsigned long long>(stats.reclaimed),
+               g_worker_stop.load(std::memory_order_relaxed) ? " (drained)"
+                                                             : "");
+  return 0;
+}
+
+/// batch --spool: enqueue every spec onto the farm, poll until terminal,
+/// and assemble the summary from the shared artifact store.
+int cmd_batch_spool(const FlagMap& flags,
+                    const std::vector<std::string>& files, bool as_json) {
+  sim::SpoolQueue queue = open_spool(flags);
+  sim::ArtifactStore store(spool_store_options(flags));
+  const std::uint64_t wait_ms = flag_u64(flags, "wait-ms", 0);
+
+  struct SpoolBatchJob {
+    std::string file;
+    std::string id;
+    std::string kind;
+    std::string fingerprint_text;
+    std::string parse_error;
+    sim::SpoolJobState state = sim::SpoolJobState::kUnknown;
+    bool reported = false;
+  };
+  std::vector<SpoolBatchJob> jobs(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    SpoolBatchJob& job = jobs[i];
+    job.file = files[i];
+    try {
+      const sim::ExperimentSpec spec = sim::ExperimentSpec::from_file(files[i]);
+      job.kind = kind_name(spec.kind);
+      job.fingerprint_text = spec.fingerprint_text();
+      job.id = queue.enqueue(spec);
+    } catch (const std::exception& e) {
+      job.parse_error = e.what();
+      std::fprintf(stderr, "[%zu/%zu] %s: invalid spec: %s\n", i + 1,
+                   files.size(), files[i].c_str(), e.what());
+      job.reported = true;
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  std::size_t reported = 0;
+  for (const auto& job : jobs) reported += job.reported ? 1 : 0;
+  while (reported < jobs.size()) {
+    // The producer doubles as a reclaimer so a farm whose only worker died
+    // still makes progress once another worker (or this loop's next poller)
+    // shows up.
+    queue.reclaim_stale();
+    bool progressed = false;
+    for (SpoolBatchJob& job : jobs) {
+      if (job.reported) continue;
+      job.state = queue.state(job.id);
+      if (job.state != sim::SpoolJobState::kDone &&
+          job.state != sim::SpoolJobState::kFailed) {
+        continue;
+      }
+      job.reported = true;
+      ++reported;
+      progressed = true;
+      std::fprintf(stderr, "[%zu/%zu] %s: %s %s\n", reported, jobs.size(),
+                   job.file.c_str(), job.kind.c_str(),
+                   job.state == sim::SpoolJobState::kDone ? "done" : "FAILED");
+    }
+    if (reported == jobs.size()) break;
+    if (wait_ms > 0 && std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "batch: gave up after %llu ms with %zu job(s) "
+                           "unfinished\n",
+                   static_cast<unsigned long long>(wait_ms),
+                   jobs.size() - reported);
+      break;
+    }
+    if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  util::json::Array job_entries;
+  int failures = 0;
+  for (SpoolBatchJob& job : jobs) {
+    util::json::Object entry{{"file", job.file}};
+    if (!job.parse_error.empty()) {
+      entry.emplace_back("status", "invalid");
+      entry.emplace_back("error", job.parse_error);
+      ++failures;
+    } else {
+      entry.emplace_back("kind", job.kind);
+      entry.emplace_back("fingerprint", job.id);
+      if (job.state == sim::SpoolJobState::kDone) {
+        const std::optional<std::string> artifact = store.get(job.id);
+        const std::optional<sim::ExperimentResult> result =
+            artifact.has_value()
+                ? sim::decode_result(*artifact, job.fingerprint_text)
+                : std::nullopt;
+        if (result.has_value()) {
+          entry.emplace_back("status", "done");
+          entry.emplace_back("result", result_json(*result));
+        } else {
+          entry.emplace_back("status", "failed");
+          entry.emplace_back("error", "job done but artifact missing/corrupt");
+          ++failures;
+        }
+      } else if (job.state == sim::SpoolJobState::kFailed) {
+        entry.emplace_back("status", "failed");
+        entry.emplace_back(
+            "error",
+            queue.failure_reason(job.id).value_or("dead-lettered"));
+        ++failures;
+      } else {
+        entry.emplace_back("status", "pending");
+        ++failures;
+      }
+    }
+    job_entries.push_back(std::move(entry));
+  }
+  const util::json::Value summary =
+      util::json::Object{{"schema", 1},
+                         {"num_jobs", jobs.size()},
+                         {"spool", queue.root()},
+                         {"jobs", std::move(job_entries)}};
+  const std::string text = util::json::dump(summary, as_json ? 2 : 0);
+  util::json::parse(text);  // summary must round-trip
+  if (as_json) {
+    std::printf("%s\n", text.c_str());
+  } else {
+    std::printf("%zu job(s) via spool %s: %d failure(s)\n", jobs.size(),
+                queue.root().c_str(), failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_batch(const FlagMap& flags) {
   const std::string specs = flag_or(flags, "specs", "");
   if (specs.empty()) throw std::invalid_argument("batch needs --specs");
   const bool as_json = flags.count("json") != 0;
   const std::vector<std::string> files = collect_spec_files(specs);
+
+  if (flags.count("spool") != 0) {
+    return cmd_batch_spool(flags, files, as_json);
+  }
 
   sim::ExperimentService service(
       service_options(flags, flag_size(flags, "jobs", 0)));
@@ -587,7 +807,15 @@ void usage() {
                "                      [--modules N] [--duration T] "
                "[--threads W] [--cache DIR]\n"
                "  tegrec_cli batch    --specs DIR-or-FILE [--jobs J] "
-               "[--cache DIR] [--json]\n");
+               "[--cache DIR] [--json]\n"
+               "                      [--spool DIR --cache DIR [--wait-ms T] "
+               "[--stale-ms T] [--max-attempts N] [--cache-max-bytes B]]\n"
+               "  tegrec_cli worker   --spool DIR --cache DIR [--owner ID] "
+               "[--poll-ms T]\n"
+               "                      [--heartbeat-ms T] [--stale-ms T] "
+               "[--max-attempts N]\n"
+               "                      [--max-jobs N] [--idle-exit-ms T] "
+               "[--cache-max-bytes B]\n");
 }
 
 }  // namespace
@@ -622,8 +850,18 @@ int main(int argc, char** argv) {
                                          "cache"}));
     }
     if (command == "batch") {
-      return cmd_batch(parse_flags(argc, argv, 2, {"specs", "jobs", "cache"},
+      return cmd_batch(parse_flags(argc, argv, 2,
+                                   {"specs", "jobs", "cache", "spool",
+                                    "wait-ms", "stale-ms", "max-attempts",
+                                    "cache-max-bytes"},
                                    {"json"}));
+    }
+    if (command == "worker") {
+      return cmd_worker(parse_flags(argc, argv, 2,
+                                    {"spool", "cache", "owner", "poll-ms",
+                                     "heartbeat-ms", "stale-ms",
+                                     "max-attempts", "max-jobs",
+                                     "idle-exit-ms", "cache-max-bytes"}));
     }
     usage();
     return 1;

@@ -75,7 +75,7 @@ bool ArtifactStore::put(const std::string& key, const std::string& content) {
     throw;  // models process death; must not be swallowed as degradation
   } catch (const std::exception& error) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       ++put_failures_;
     }
     warn_once(std::string("artifact store degraded, results not cached: ") +
@@ -110,12 +110,12 @@ std::uint64_t ArtifactStore::total_bytes() const {
 }
 
 std::uint64_t ArtifactStore::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return evictions_;
 }
 
 std::uint64_t ArtifactStore::put_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return put_failures_;
 }
 
@@ -141,7 +141,7 @@ std::size_t ArtifactStore::evict_to_cap() {
     }
   }
   if (removed > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     evictions_ += removed;
   }
   return removed;
@@ -149,7 +149,7 @@ std::size_t ArtifactStore::evict_to_cap() {
 
 void ArtifactStore::warn_once(const std::string& message) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (warned_) return;
     warned_ = true;
   }

@@ -31,13 +31,14 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "util/atomic_file.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tegrec::sim {
 
@@ -104,11 +105,13 @@ class ArtifactStore {
   std::size_t evict_to_cap();
   void warn_once(const std::string& message);
 
+  /// Finalised by the constructor (warn/faults defaults), immutable after.
+  // tegrec-lint: allow(guarded-member) immutable after construction
   ArtifactStoreOptions options_;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t put_failures_ = 0;
-  bool warned_ = false;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
+  std::uint64_t evictions_ TEGREC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t put_failures_ TEGREC_GUARDED_BY(mutex_) = 0;
+  bool warned_ TEGREC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tegrec::sim

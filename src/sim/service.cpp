@@ -2,9 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <list>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -12,31 +10,46 @@
 #include "sim/artifact_store.hpp"
 #include "sim/result_io.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/env_snapshot.hpp"
+#include "util/mutex.hpp"
 #include "util/parallel.hpp"
 #include "util/parse.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tegrec::sim {
 
 namespace detail {
 
-// All mutable fields are guarded by `mutex`; everything above it is set
-// before the job is published (queued or handed out) and immutable after.
+// The identity half of a job is const: it is fully determined before the
+// job is published (queued or handed out), so the constructor is the only
+// writer and no lock is needed.  Everything below `mutex` is guarded.
 // Lock order where both are held: service registry mutex, then job mutex.
 struct Job {
-  std::uint64_t id = 0;
-  ExperimentSpec spec;
-  ConfigMutator mutator;  ///< opaque sweep mutator (uncacheable jobs only)
-  bool has_mutator = false;
-  std::string fingerprint;
-  std::string fingerprint_text;
-  bool cacheable = true;
+  Job(std::uint64_t job_id, ExperimentSpec job_spec, ConfigMutator job_mutator,
+      bool job_has_mutator, std::string job_fingerprint,
+      std::string job_fingerprint_text)
+      : id(job_id),
+        spec(std::move(job_spec)),
+        mutator(std::move(job_mutator)),
+        has_mutator(job_has_mutator),
+        fingerprint(std::move(job_fingerprint)),
+        fingerprint_text(std::move(job_fingerprint_text)),
+        cacheable(!has_mutator) {}
 
-  mutable std::mutex mutex;
+  const std::uint64_t id;
+  const ExperimentSpec spec;
+  const ConfigMutator mutator;  ///< opaque sweep mutator (uncacheable only)
+  const bool has_mutator;
+  const std::string fingerprint;
+  const std::string fingerprint_text;
+  const bool cacheable;
+
+  mutable util::Mutex mutex;
   mutable std::condition_variable done_cv;
-  JobStatus status = JobStatus::kQueued;
-  std::shared_ptr<const ExperimentResult> result;
-  std::exception_ptr error;
-  bool from_cache = false;
+  JobStatus status TEGREC_GUARDED_BY(mutex) = JobStatus::kQueued;
+  std::shared_ptr<const ExperimentResult> result TEGREC_GUARDED_BY(mutex);
+  std::exception_ptr error TEGREC_GUARDED_BY(mutex);
+  bool from_cache TEGREC_GUARDED_BY(mutex) = false;
 };
 
 namespace {
@@ -63,14 +76,14 @@ detail::Job& deref(const std::shared_ptr<detail::Job>& job) {
 
 JobStatus JobHandle::status() const {
   detail::Job& job = deref(job_);
-  std::lock_guard<std::mutex> lock(job.mutex);
+  util::MutexLock lock(job.mutex);
   return job.status;
 }
 
 std::shared_ptr<const ExperimentResult> JobHandle::wait() const {
   detail::Job& job = deref(job_);
-  std::unique_lock<std::mutex> lock(job.mutex);
-  job.done_cv.wait(lock, [&job] { return detail::is_terminal(job.status); });
+  util::UniqueLock lock(job.mutex);
+  while (!detail::is_terminal(job.status)) job.done_cv.wait(lock.native());
   if (job.status == JobStatus::kDone) return job.result;
   if (job.status == JobStatus::kFailed) std::rethrow_exception(job.error);
   throw std::runtime_error("ExperimentService: job " +
@@ -79,13 +92,13 @@ std::shared_ptr<const ExperimentResult> JobHandle::wait() const {
 
 std::shared_ptr<const ExperimentResult> JobHandle::poll() const {
   detail::Job& job = deref(job_);
-  std::lock_guard<std::mutex> lock(job.mutex);
+  util::MutexLock lock(job.mutex);
   return job.status == JobStatus::kDone ? job.result : nullptr;
 }
 
 bool JobHandle::cancel() const {
   detail::Job& job = deref(job_);
-  std::lock_guard<std::mutex> lock(job.mutex);
+  util::MutexLock lock(job.mutex);
   if (job.status != JobStatus::kQueued) return false;
   job.status = JobStatus::kCancelled;
   job.done_cv.notify_all();
@@ -94,7 +107,7 @@ bool JobHandle::cancel() const {
 
 bool JobHandle::from_cache() const {
   detail::Job& job = deref(job_);
-  std::lock_guard<std::mutex> lock(job.mutex);
+  util::MutexLock lock(job.mutex);
   return job.from_cache;
 }
 
@@ -109,23 +122,34 @@ std::uint64_t JobHandle::id() const { return deref(job_).id; }
 struct ExperimentService::State {
   explicit State(std::size_t queue_capacity) : queue(queue_capacity) {}
 
+  /// Internally synchronized (its own mutex + condition variables).
+  // tegrec-lint: allow(guarded-member) internally synchronized
   util::BoundedQueue<std::shared_ptr<detail::Job>> queue;
+  /// Created by the service constructor before any worker runs, reset
+  /// only by the destructor after the queue closed.
+  // tegrec-lint: allow(guarded-member) immutable between ctor and dtor
   std::unique_ptr<util::ThreadPool> pool;
   /// Crash-safe bounded disk cache (default-constructed = disabled when
   /// cache_dir is empty; behind a pointer because the store owns a mutex).
+  /// The store is internally synchronized; the pointer itself is set in
+  /// the service constructor and never reseated while workers exist.
+  // tegrec-lint: allow(guarded-member) immutable between ctor and dtor
   std::unique_ptr<ArtifactStore> store = std::make_unique<ArtifactStore>();
 
-  std::mutex registry_mutex;
+  util::Mutex registry_mutex;
   /// Queued/running cacheable jobs by fingerprint — the coalescing table.
-  std::unordered_map<std::string, std::shared_ptr<detail::Job>> inflight;
+  std::unordered_map<std::string, std::shared_ptr<detail::Job>> inflight
+      TEGREC_GUARDED_BY(registry_mutex);
 
   struct CacheEntry {
     std::list<std::string>::iterator lru_it;
     std::string fingerprint_text;  ///< collision guard
     std::shared_ptr<const ExperimentResult> result;
   };
-  std::list<std::string> lru;  ///< fingerprints, most recently used first
-  std::unordered_map<std::string, CacheEntry> cache;
+  /// Fingerprints, most recently used first.
+  std::list<std::string> lru TEGREC_GUARDED_BY(registry_mutex);
+  std::unordered_map<std::string, CacheEntry> cache
+      TEGREC_GUARDED_BY(registry_mutex);
 
   std::atomic<std::uint64_t> next_id{1};
   std::atomic<std::size_t> executions{0};
@@ -136,14 +160,16 @@ struct ExperimentService::State {
 
 namespace {
 
-// Registry lock must be held.
+// The annotation is the old "registry lock must be held" comment made
+// machine-checked: callers must hold state.registry_mutex.
 void insert_cache_locked(ExperimentService::State& state, std::size_t capacity,
                          const detail::Job& job,
-                         const std::shared_ptr<const ExperimentResult>& result);
+                         const std::shared_ptr<const ExperimentResult>& result)
+    TEGREC_REQUIRES(state.registry_mutex);
 
 void erase_inflight(ExperimentService::State& state,
                     const std::shared_ptr<detail::Job>& job) {
-  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  util::MutexLock lock(state.registry_mutex);
   const auto it = state.inflight.find(job->fingerprint);
   if (it != state.inflight.end() && it->second == job) state.inflight.erase(it);
 }
@@ -151,7 +177,7 @@ void erase_inflight(ExperimentService::State& state,
 void fail_job(ExperimentService::State& state,
               const std::shared_ptr<detail::Job>& job, std::exception_ptr error) {
   if (job->cacheable) erase_inflight(state, job);
-  std::lock_guard<std::mutex> lock(job->mutex);
+  util::MutexLock lock(job->mutex);
   if (job->status == JobStatus::kCancelled) return;  // cancel won the race
   job->error = std::move(error);
   job->status = JobStatus::kFailed;
@@ -182,7 +208,8 @@ void store_disk(ArtifactStore& store, const detail::Job& job,
 
 void insert_cache_locked(ExperimentService::State& state, std::size_t capacity,
                          const detail::Job& job,
-                         const std::shared_ptr<const ExperimentResult>& result) {
+                         const std::shared_ptr<const ExperimentResult>& result)
+    TEGREC_REQUIRES(state.registry_mutex) {
   if (capacity == 0) return;
   const auto it = state.cache.find(job.fingerprint);
   if (it != state.cache.end()) {
@@ -235,7 +262,7 @@ ExperimentService::ExperimentService(ServiceOptions options)
 ExperimentService::~ExperimentService() {
   state_->queue.close();
   for (const auto& job : state_->queue.drain()) {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    util::MutexLock lock(job->mutex);
     if (job->status == JobStatus::kQueued) {
       job->status = JobStatus::kCancelled;
       job->done_cv.notify_all();
@@ -255,40 +282,44 @@ JobHandle ExperimentService::submit(const ExperimentSpec& spec,
 
 JobHandle ExperimentService::submit_impl(const ExperimentSpec& spec,
                                          const ConfigMutator* mutator) {
-  auto job = std::make_shared<detail::Job>();
-  job->id = state_->next_id.fetch_add(1, std::memory_order_relaxed);
-  job->spec = spec;
+  // The job's identity is computed up front so detail::Job can be
+  // constructed with const fields — immutable by type, not by promise.
+  const std::uint64_t id =
+      state_->next_id.fetch_add(1, std::memory_order_relaxed);
+  ExperimentSpec job_spec = spec;
+  std::string fingerprint;
+  std::string fingerprint_text;
   if (mutator) {
-    job->mutator = *mutator;
-    job->has_mutator = true;
-    job->cacheable = false;
-    job->fingerprint = "uncached-" + std::to_string(job->id);
+    fingerprint = "uncached-" + std::to_string(id);
   } else {
-    if (job->spec.trace.kind == TraceSource::Kind::kCsvFile) {
+    if (job_spec.trace.kind == TraceSource::Kind::kCsvFile) {
       // Materialise CSV sources before fingerprinting (throws here, on the
       // submitter, if the file is unreadable).  Hashing the path's bytes
       // and re-reading the file at execution time would let an edit in
       // between store a result under the other content's fingerprint —
       // the one way a wrong result could enter the cache.  The in-memory
       // trace is both the content address and what executes.
-      job->spec.trace.inline_trace = materialize_trace(job->spec.trace);
-      job->spec.trace.kind = TraceSource::Kind::kInline;
-      job->spec.trace.csv_path.clear();
+      job_spec.trace.inline_trace = materialize_trace(job_spec.trace);
+      job_spec.trace.kind = TraceSource::Kind::kInline;
+      job_spec.trace.csv_path.clear();
     }
-    job->fingerprint_text = job->spec.fingerprint_text();
-    job->fingerprint = ExperimentSpec::fingerprint_of_text(job->fingerprint_text);
+    fingerprint_text = job_spec.fingerprint_text();
+    fingerprint = ExperimentSpec::fingerprint_of_text(fingerprint_text);
   }
+  auto job = std::make_shared<detail::Job>(
+      id, std::move(job_spec), mutator ? *mutator : ConfigMutator(),
+      mutator != nullptr, std::move(fingerprint), std::move(fingerprint_text));
 
   if (job->cacheable) {
     {
-      std::lock_guard<std::mutex> lock(state_->registry_mutex);
+      util::MutexLock lock(state_->registry_mutex);
       const auto hit = state_->cache.find(job->fingerprint);
       if (hit != state_->cache.end() &&
           hit->second.fingerprint_text == job->fingerprint_text) {
         state_->lru.splice(state_->lru.begin(), state_->lru,
                            hit->second.lru_it);
         state_->cache_hits.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> job_lock(job->mutex);
+        util::MutexLock job_lock(job->mutex);
         job->result = hit->second.result;
         job->from_cache = true;
         job->status = JobStatus::kDone;
@@ -301,13 +332,19 @@ JobHandle ExperimentService::submit_impl(const ExperimentSpec& spec,
         // would let a fingerprint collision hand this submitter the other
         // spec's result.  A collider (or a cancelled job still parked in
         // the queue) must not swallow new submissions; claim the slot.
-        std::unique_lock<std::mutex> existing_lock(existing->mutex);
-        if (existing->status != JobStatus::kCancelled &&
-            existing->fingerprint_text == job->fingerprint_text) {
+        // The status read gets its own scope (no mid-scope unlock): the
+        // verdict cannot change once computed, because a queued job only
+        // leaves kCancelled via this registry lock, which we still hold.
+        bool attach = false;
+        {
+          util::MutexLock existing_lock(existing->mutex);
+          attach = existing->status != JobStatus::kCancelled &&
+                   existing->fingerprint_text == job->fingerprint_text;
+        }
+        if (attach) {
           state_->coalesced.fetch_add(1, std::memory_order_relaxed);
           return JobHandle(existing);
         }
-        existing_lock.unlock();
         in_it->second = job;
       } else {
         state_->inflight.emplace(job->fingerprint, job);
@@ -337,7 +374,7 @@ JobHandle ExperimentService::submit_impl(const ExperimentSpec& spec,
 void ExperimentService::run_job(const std::shared_ptr<detail::Job>& job) {
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    util::MutexLock lock(job->mutex);
     if (job->status != JobStatus::kQueued) {
       cancelled = true;  // cancelled while queued: it must never execute
     } else {
@@ -370,14 +407,14 @@ void ExperimentService::complete_job(
     const std::shared_ptr<detail::Job>& job,
     std::shared_ptr<const ExperimentResult> result, bool from_cache) {
   if (job->cacheable) {
-    std::lock_guard<std::mutex> lock(state_->registry_mutex);
+    util::MutexLock lock(state_->registry_mutex);
     insert_cache_locked(*state_, options_.memory_cache_entries, *job, result);
     const auto it = state_->inflight.find(job->fingerprint);
     if (it != state_->inflight.end() && it->second == job) {
       state_->inflight.erase(it);
     }
   }
-  std::lock_guard<std::mutex> lock(job->mutex);
+  util::MutexLock lock(job->mutex);
   // A coalesced holder may have cancelled the job while the disk probe ran
   // (the only completion path reachable from kQueued); its waiters were
   // already told "cancelled", so the status must not flip to done under
@@ -409,30 +446,26 @@ const ArtifactStore& ExperimentService::artifact_store() const {
 ExperimentService& ExperimentService::shared() {
   static ExperimentService service([] {
     ServiceOptions options;
-    // getenv is not thread-safe against setenv, but these reads happen
-    // once, under the static-local initialisation guard, before any
-    // worker thread exists.
-    // NOLINTNEXTLINE(concurrency-mt-unsafe)
-    if (const char* dir = std::getenv("TEGREC_CACHE_DIR")) {
-      options.cache_dir = dir;
+    // Configuration comes from the one-shot environment snapshot
+    // (util/env_snapshot.hpp): no getenv happens after threads exist.
+    if (const auto dir = util::env_snapshot("TEGREC_CACHE_DIR")) {
+      options.cache_dir = *dir;
     }
     // Cached comparison results keep their per-step records, so a long-
     // running process iterating distinct configs retains up to this many
     // full results; TEGREC_CACHE_ENTRIES trims (or 0 disables) the LRU
     // when that footprint matters more than hit rate.
-    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- see above
-    if (const char* entries = std::getenv("TEGREC_CACHE_ENTRIES")) {
+    if (const auto entries = util::env_snapshot("TEGREC_CACHE_ENTRIES")) {
       try {
         options.memory_cache_entries =
-            static_cast<std::size_t>(util::parse_u64(entries));
+            static_cast<std::size_t>(util::parse_u64(*entries));
       } catch (const std::exception&) {
         // an unparseable override keeps the default
       }
     }
-    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- see above
-    if (const char* max_bytes = std::getenv("TEGREC_CACHE_MAX_BYTES")) {
+    if (const auto max_bytes = util::env_snapshot("TEGREC_CACHE_MAX_BYTES")) {
       try {
-        options.cache_max_bytes = util::parse_u64(max_bytes);
+        options.cache_max_bytes = util::parse_u64(*max_bytes);
       } catch (const std::exception&) {
         // an unparseable cap keeps the cache unbounded
       }

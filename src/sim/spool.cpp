@@ -173,7 +173,7 @@ std::optional<SpoolQueue::Claim> SpoolQueue::try_claim(
       continue;  // lost the race for this job; try the next one
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       heartbeat_seqs_[id] = 1;
     }
     write_lease(id, owner, 1);
@@ -189,7 +189,7 @@ void SpoolQueue::heartbeat(const std::string& id, const std::string& owner) {
   if (options_.faults->should_fire("spool.heartbeat.drop")) return;
   std::uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     seq = ++heartbeat_seqs_[id];
   }
   write_lease(id, owner, seq);
@@ -202,7 +202,7 @@ void SpoolQueue::complete(const std::string& id) {
                     spec_path(SpoolJobState::kDone, id));
   std::error_code ec;
   fs::remove(lease_path(id), ec);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   heartbeat_seqs_.erase(id);
   observations_.erase(id);
 }
@@ -257,7 +257,7 @@ bool SpoolQueue::fail_attempt(const std::string& id,
   }
   std::error_code ec;
   fs::remove(lease_path(id), ec);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   heartbeat_seqs_.erase(id);
   observations_.erase(id);
   return dead;
@@ -271,7 +271,7 @@ std::size_t SpoolQueue::reclaim_stale() {
   // Drop observations for jobs that left claimed/ (completed or already
   // reclaimed) so a re-claimed id starts a fresh window.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto it = observations_.begin(); it != observations_.end();) {
       if (std::find(claimed.begin(), claimed.end(), it->first) ==
           claimed.end()) {
@@ -290,7 +290,7 @@ std::size_t SpoolQueue::reclaim_stale() {
         util::read_file_if_exists(lease_path(id)).value_or("");
     bool stale = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       Observation& obs = observations_[id];
       if (obs.first_seen_ms == 0 || obs.lease_content != lease) {
         obs.lease_content = lease;
@@ -309,7 +309,7 @@ std::size_t SpoolQueue::reclaim_stale() {
     std::error_code ec;
     fs::remove(lease_path(id), ec);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       observations_.erase(id);
     }
     // Marker only after winning the rename: racing reclaimers cannot
@@ -361,21 +361,25 @@ class HeartbeatGuard {
                  std::uint64_t period_ms)
       : queue_(queue), id_(std::move(id)), owner_(std::move(owner)) {
     thread_ = std::thread([this, period_ms] {
-      std::unique_lock<std::mutex> lock(mutex_);
-      while (!done_) {
-        cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
-                     [this] { return done_; });
-        if (done_) break;
-        lock.unlock();
+      for (;;) {
+        {
+          // The heartbeat call happens outside the locked scope (it does
+          // file IO and must not serialise against the destructor); a
+          // spurious wakeup therefore costs one harmless early heartbeat.
+          util::UniqueLock lock(mutex_);
+          if (!done_) {
+            cv_.wait_for(lock.native(), std::chrono::milliseconds(period_ms));
+          }
+          if (done_) return;
+        }
         queue_.heartbeat(id_, owner_);
-        lock.lock();
       }
     });
   }
 
   ~HeartbeatGuard() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       done_ = true;
     }
     cv_.notify_all();
@@ -383,12 +387,16 @@ class HeartbeatGuard {
   }
 
  private:
+  /// queue_/id_/owner_ are written only before the thread starts (ctor
+  /// init list) and read only by the heartbeat thread; the thread launch
+  /// and join order them.
   SpoolQueue& queue_;
-  std::string id_;
-  std::string owner_;
-  std::mutex mutex_;
+  const std::string id_;
+  const std::string owner_;
+  util::Mutex mutex_;
   std::condition_variable cv_;
-  bool done_ = false;
+  bool done_ TEGREC_GUARDED_BY(mutex_) = false;
+  // tegrec-lint: allow(guarded-member) started in ctor, joined in dtor
   std::thread thread_;
 };
 

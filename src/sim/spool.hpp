@@ -48,7 +48,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,6 +56,8 @@
 #include "sim/spec.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tegrec::sim {
 
@@ -178,6 +179,8 @@ class SpoolQueue {
   /// when dead-lettered.
   bool record_failure(const std::string& id, const std::string& reason);
 
+  /// Finalised by the constructor (clock default), immutable after.
+  // tegrec-lint: allow(guarded-member) immutable after construction
   SpoolOptions options_;
 
   /// Stale-lease observation log: lease content + when THIS observer first
@@ -186,9 +189,10 @@ class SpoolQueue {
     std::string lease_content;
     std::uint64_t first_seen_ms = 0;
   };
-  mutable std::mutex mutex_;
-  std::map<std::string, Observation> observations_;
-  std::map<std::string, std::uint64_t> heartbeat_seqs_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Observation> observations_ TEGREC_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> heartbeat_seqs_
+      TEGREC_GUARDED_BY(mutex_);
 };
 
 // ------------------------------------------------------------------ worker

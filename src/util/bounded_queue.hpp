@@ -8,15 +8,21 @@
 // relies on.  drain() hands back whatever is still queued at close time
 // so the owner can mark those jobs cancelled instead of leaving their
 // waiters blocked forever.
+//
+// Locking shape: every locked region is one lexical scope (util::Mutex +
+// scoped RAII, checked by Clang thread-safety analysis), and notify
+// calls sit after the scope ends so no waiter wakes into a held lock.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tegrec::util {
 
@@ -33,11 +39,12 @@ class BoundedQueue {
   /// Blocks while the queue is full; returns false (dropping the item)
   /// if the queue is closed before space frees up.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    {
+      UniqueLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) space_.wait(lock.native());
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     ready_.notify_one();
     return true;
   }
@@ -45,12 +52,14 @@ class BoundedQueue {
   /// Blocks while the queue is empty; returns nullopt once the queue is
   /// closed and drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      UniqueLock lock(mutex_);
+      while (!closed_ && items_.empty()) ready_.wait(lock.native());
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     space_.notify_one();
     return item;
   }
@@ -58,7 +67,7 @@ class BoundedQueue {
   /// Stops producers and wakes every blocked push/pop.  Idempotent.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
@@ -67,34 +76,36 @@ class BoundedQueue {
 
   /// Removes and returns everything currently queued without blocking.
   std::vector<T> drain() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    std::vector<T> out(std::make_move_iterator(items_.begin()),
-                       std::make_move_iterator(items_.end()));
-    items_.clear();
-    lock.unlock();
+    std::vector<T> out;
+    {
+      MutexLock lock(mutex_);
+      out.assign(std::make_move_iterator(items_.begin()),
+                 std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
     space_.notify_all();
     return out;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable ready_;
   std::condition_variable space_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ TEGREC_GUARDED_BY(mutex_);
+  bool closed_ TEGREC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tegrec::util

@@ -1,0 +1,31 @@
+// One-shot environment snapshot — the only sanctioned getenv door.
+//
+// std::getenv is not thread-safe against a concurrent setenv, and the
+// clang-tidy concurrency-mt-unsafe check rightly flags every call.  The
+// repo's policy used to be per-site NOLINT suppressions ("this read
+// happens before threads start"); that argument was repeated at four
+// call sites and would have to be re-proven at every new one.  Instead,
+// every TEGREC_* configuration variable is read exactly once, under the
+// C++ static-local initialisation guard of the first env_snapshot()
+// call — which every consumer makes before spawning its threads — and
+// the values are served from an immutable map thereafter.  Later setenv
+// calls are invisible by design: process configuration is fixed at
+// first use, the same contract the per-site statics already implied.
+//
+// The variable list is closed on purpose.  Asking for a name outside it
+// throws std::logic_error: a new knob must be added to the table (and
+// documented in docs/) rather than smuggled in through a raw getenv.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace tegrec::util {
+
+/// Value `name` had when the process-wide snapshot was taken (first call
+/// to any env_snapshot), or nullopt when it was unset.  `name` must be
+/// one of the known TEGREC_* configuration variables; anything else
+/// throws std::logic_error.
+std::optional<std::string> env_snapshot(const std::string& name);
+
+}  // namespace tegrec::util

@@ -1,9 +1,9 @@
 #include "util/fault.hpp"
 
-#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 
+#include "util/env_snapshot.hpp"
 #include "util/parse.hpp"
 
 namespace tegrec::util {
@@ -68,12 +68,12 @@ void FaultInjector::arm(const std::string& site, std::uint64_t first,
     throw std::invalid_argument("fault range for '" + site +
                                 "' must be 1-based and non-empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_[site].ranges.emplace_back(first, last);
 }
 
 bool FaultInjector::should_fire(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Site& s = sites_[site];
   const std::uint64_t hit = ++s.hits;
   for (const auto& [first, last] : s.ranges) {
@@ -83,13 +83,13 @@ bool FaultInjector::should_fire(const std::string& site) {
 }
 
 std::uint64_t FaultInjector::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 bool FaultInjector::armed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [site, s] : sites_) {
     if (!s.ranges.empty()) return true;
   }
@@ -97,14 +97,10 @@ bool FaultInjector::armed() const {
 }
 
 FaultInjector& process_faults() {
-  // getenv is read once, under the static-local initialisation guard,
-  // before any concurrent setenv could race it (same pattern as
-  // ExperimentService::shared()).
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  static FaultInjector injector([]() -> std::string {
-    const char* config = std::getenv("TEGREC_FAULTS");
-    return config == nullptr ? "" : config;
-  }());
+  // The environment is read through the one-shot snapshot in
+  // util/env_snapshot.hpp, so no getenv call happens after threads exist.
+  static FaultInjector injector(
+      env_snapshot("TEGREC_FAULTS").value_or(std::string()));
   return injector;
 }
 

@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tegrec::util {
 
@@ -67,8 +69,8 @@ class FaultInjector {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
     std::uint64_t hits = 0;
   };
-  mutable std::mutex mutex_;
-  std::map<std::string, Site> sites_;
+  mutable Mutex mutex_;
+  std::map<std::string, Site> sites_ TEGREC_GUARDED_BY(mutex_);
 };
 
 /// The process-wide injector, armed once from the TEGREC_FAULTS

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -18,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -27,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
     queue_.push(std::move(task));
   }
@@ -35,21 +34,21 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    UniqueLock lock(mutex_);
+    while (!queue_.empty() || in_flight_ != 0) idle_.wait(lock.native());
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) task_ready_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ and nothing left to do
       task = std::move(queue_.front());
       queue_.pop();
@@ -62,7 +61,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
@@ -88,7 +87,7 @@ void parallel_for(std::size_t n, std::size_t num_threads,
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   const auto drain = [&] {
     for (;;) {
@@ -97,7 +96,7 @@ void parallel_for(std::size_t n, std::size_t num_threads,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;

@@ -10,11 +10,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tegrec::util {
 
@@ -41,14 +44,17 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Written by the constructor before any other thread can observe the
+  /// pool, then only joined by the destructor after the workers exit.
+  // tegrec-lint: allow(guarded-member) immutable after construction
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
-  std::exception_ptr first_error_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::queue<std::function<void()>> queue_ TEGREC_GUARDED_BY(mutex_);
+  std::exception_ptr first_error_ TEGREC_GUARDED_BY(mutex_);
+  std::size_t in_flight_ TEGREC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ TEGREC_GUARDED_BY(mutex_) = false;
 };
 
 /// std::thread::hardware_concurrency(), but never zero.

@@ -1,0 +1,73 @@
+// Clang thread-safety annotation macros, portable to every compiler.
+//
+// Under Clang with -Wthread-safety the macros expand to the attributes
+// that make lock discipline a *compile-time* property: the analysis
+// rejects any access to a TEGREC_GUARDED_BY member without its mutex
+// held, any call to a TEGREC_REQUIRES function without the named
+// capability, and any function that returns with a capability in the
+// wrong state.  Everywhere else (the gcc reference toolchain included)
+// they expand to nothing, so annotated code compiles identically.
+//
+// Policy (see docs/static_analysis.md, "Thread-safety annotations"):
+//
+//  * Every data member of a class that owns a std::mutex is either
+//    TEGREC_GUARDED_BY(that mutex), std::atomic, const/immutable after
+//    construction, or carries an inline lint allow naming why.
+//  * Private helpers that assume a lock is held say so with
+//    TEGREC_REQUIRES(mutex) instead of a comment.
+//  * Mid-scope unlock/relock dances are restructured into scopes the
+//    analysis can follow; TEGREC_NO_THREAD_SAFETY_ANALYSIS is a last
+//    resort for patterns the analysis cannot express (condition-variable
+//    wait loops that hand the lock to wait_for) and always carries a
+//    comment.
+//
+// The gcc-only containers cannot run the analysis, so two gates enforce
+// it anyway: the `clang-thread-safety` CI job compiles the whole tree
+// with -Werror=thread-safety, and tegrec_lint's guarded-member /
+// lock-discipline / annotation-drift rules (AST-free, run everywhere)
+// keep new concurrency code from silently opting out.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TEGREC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TEGREC_THREAD_ANNOTATION
+#define TEGREC_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability (std::mutex already is one via
+/// Clang's own annotations; this is for wrapper types).
+#define TEGREC_CAPABILITY(x) TEGREC_THREAD_ANNOTATION(capability(x))
+
+/// Data member readable/writable only with `x` held.
+#define TEGREC_GUARDED_BY(x) TEGREC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define TEGREC_PT_GUARDED_BY(x) TEGREC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called with the listed capabilities held.
+#define TEGREC_REQUIRES(...) \
+  TEGREC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding them.
+#define TEGREC_ACQUIRE(...) \
+  TEGREC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (held on entry).
+#define TEGREC_RELEASE(...) \
+  TEGREC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking public APIs).
+#define TEGREC_EXCLUDES(...) TEGREC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// RAII type that acquires in its constructor and releases in its
+/// destructor (std::lock_guard-shaped wrappers).
+#define TEGREC_SCOPED_CAPABILITY TEGREC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Escape hatch for functions whose locking the analysis cannot follow.
+/// Every use carries a comment saying exactly why.
+#define TEGREC_NO_THREAD_SAFETY_ANALYSIS \
+  TEGREC_THREAD_ANNOTATION(no_thread_safety_analysis)

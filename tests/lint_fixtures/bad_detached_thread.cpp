@@ -1,0 +1,13 @@
+// lock-discipline fixture: .detach() is banned repo-wide, not just in
+// the concurrency layer — a detached thread outlives its owner.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();  // fires
+}
+
+void joined() {
+  std::thread worker([] {});
+  worker.join();  // clean
+}

@@ -1,0 +1,21 @@
+// lock-discipline fixture: raw mutex primitives planted at known lines;
+// the RAII door (util::Mutex / util::MutexLock) must stay clean.
+#include "util/mutex.hpp"
+
+namespace demo {
+
+std::mutex raw_mutex;  // fires: raw mutex type outside util/mutex.hpp
+
+void bad() {
+  raw_mutex.lock();            // fires: raw .lock()
+  raw_mutex.unlock();          // fires: raw .unlock()
+  if (raw_mutex.try_lock()) {  // fires: raw .try_lock()
+    raw_mutex.unlock();  // tegrec-lint: allow(lock-discipline) fixture
+  }
+}
+
+void good(tegrec::util::Mutex& mutex) {
+  tegrec::util::MutexLock lock(mutex);  // clean: the sanctioned door
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// annotation-drift fixture: a concurrency-layer header that names a
+// mutex but never uses a TEGREC_* annotation has drifted out of the
+// compile-time lock-discipline net.
+#pragma once
+
+#include "util/mutex.hpp"
+
+class DriftedCounters {
+ public:
+  void bump();
+
+ private:
+  mutable tegrec::util::Mutex mutex_;
+  unsigned long long bumps_ = 0;  // also fires guarded-member
+};

@@ -1,0 +1,26 @@
+// guarded-member fixture: scanned under a synthetic src/sim/ path so the
+// concurrency-layer rules apply.  Planted violations are marked; every
+// other member exercises one of the rule's exemptions.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+class Planted {
+ public:
+  void poke();
+
+ private:
+  mutable tegrec::util::Mutex mutex_;
+  int unguarded_counter_ = 0;  // fires: next to a mutex, no guard
+  int guarded_counter_ TEGREC_GUARDED_BY(mutex_) = 0;
+  std::atomic<int> atomic_counter_{0};
+  const int const_limit_ = 4;
+  // tegrec-lint: allow(guarded-member) externally synchronized
+  int allowed_counter_ = 0;
+  // tegrec-lint: allow(float-eq) wrong rule: must NOT suppress
+  int wrong_allow_counter_ = 0;  // fires: the allow names another rule
+};
+
+class NoMutexHere {
+ public:
+  int bare_member = 0;  // clean: this class owns no mutex
+};

@@ -200,6 +200,96 @@ TEST(LintHeader, RulesDoNotApplyToCppFiles) {
   EXPECT_TRUE(lines_of(findings, "using-namespace").empty()) << dump(findings);
 }
 
+// --------------------------------------------------------- guarded-member
+
+TEST(LintGuardedMember, FiresOnUnguardedMembersOfMutexOwningClasses) {
+  const auto findings = scan_source("src/sim/bad_unguarded_member.cpp",
+                                    fixture("bad_unguarded_member.cpp"));
+  // Line 13: plain member next to a mutex.  Line 20: its allow() names a
+  // different rule and must NOT suppress.  The annotated, atomic, const
+  // and correctly-allowed members — and the mutex-free class — are clean.
+  EXPECT_EQ(lines_of(findings, "guarded-member"),
+            (std::vector<std::size_t>{13, 20}))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 2u) << dump(findings);
+  for (const Finding& f : findings) {
+    if (f.line == 13) {
+      EXPECT_EQ(f.detail, "Planted.unguarded_counter_");
+    }
+    if (f.line == 20) {
+      EXPECT_EQ(f.detail, "Planted.wrong_allow_counter_");
+    }
+  }
+}
+
+TEST(LintGuardedMember, AppliesOnlyInConcurrencyLayer) {
+  const auto findings = scan_source("src/core/bad_unguarded_member.cpp",
+                                    fixture("bad_unguarded_member.cpp"));
+  EXPECT_TRUE(lines_of(findings, "guarded-member").empty())
+      << dump(findings);
+}
+
+// -------------------------------------------------------- lock-discipline
+
+TEST(LintLockDiscipline, FiresOnRawPrimitivesButNotTheRaiiDoor) {
+  const auto findings =
+      scan_source("src/sim/bad_raw_lock.cpp", fixture("bad_raw_lock.cpp"));
+  // 7: std::mutex declaration; 10/11/12: raw .lock/.unlock/.try_lock.
+  // The allow()-suppressed unlock and the util::MutexLock usage are clean.
+  EXPECT_EQ(lines_of(findings, "lock-discipline"),
+            (std::vector<std::size_t>{7, 10, 11, 12}))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 4u) << dump(findings);
+}
+
+TEST(LintLockDiscipline, MutexWrapperFileIsExempt) {
+  // The annotated RAII door has to touch the raw primitives; the same
+  // content scanned under its real path must not trip the rule.
+  const auto findings =
+      scan_source("src/util/mutex.hpp", fixture("bad_raw_lock.cpp"));
+  EXPECT_TRUE(lines_of(findings, "lock-discipline").empty())
+      << dump(findings);
+}
+
+TEST(LintLockDiscipline, DetachIsBannedRepoWide) {
+  // src/core is outside the concurrency layer; .detach() fires anyway.
+  const auto findings = scan_source("src/core/bad_detached_thread.cpp",
+                                    fixture("bad_detached_thread.cpp"));
+  ASSERT_EQ(lines_of(findings, "lock-discipline"),
+            (std::vector<std::size_t>{7}))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 1u) << dump(findings);
+  EXPECT_NE(findings[0].message.find("detach"), std::string::npos)
+      << findings[0].message;
+}
+
+// ------------------------------------------------------- annotation-drift
+
+TEST(LintAnnotationDrift, HeaderNamingMutexWithoutAnnotationsFails) {
+  const auto findings = scan_source("src/util/bad_unannotated_header.hpp",
+                                    fixture("bad_unannotated_header.hpp"));
+  EXPECT_EQ(lines_of(findings, "annotation-drift"),
+            (std::vector<std::size_t>{1}))
+      << dump(findings);
+  // The unguarded member also fires on its own line — the two rules catch
+  // the same drift from different angles.
+  EXPECT_EQ(lines_of(findings, "guarded-member"),
+            (std::vector<std::size_t>{14}))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 2u) << dump(findings);
+}
+
+TEST(LintAnnotationDrift, OnlyConcurrencyLayerHeadersAreChecked) {
+  const auto cpp = scan_source("src/util/bad_unannotated_header.cpp",
+                               fixture("bad_unannotated_header.hpp"));
+  EXPECT_TRUE(lines_of(cpp, "annotation-drift").empty()) << dump(cpp);
+  const auto outside = scan_source("src/core/bad_unannotated_header.hpp",
+                                   fixture("bad_unannotated_header.hpp"));
+  EXPECT_TRUE(lines_of(outside, "annotation-drift").empty())
+      << dump(outside);
+  EXPECT_TRUE(lines_of(outside, "guarded-member").empty()) << dump(outside);
+}
+
 // ------------------------------------------------------------- cache-key
 
 TEST(LintCacheKey, ParsesDataMembersOnly) {

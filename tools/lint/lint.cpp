@@ -381,6 +381,311 @@ void scan_float_tol(const std::string& relpath,
   }
 }
 
+// ------------------------------------------------- lock-discipline scanning
+
+/// `name` as a member call: preceded by '.' or '->' and followed (after
+/// optional spaces) by '(' — matches `m.lock()`, `t->detach ()`.
+bool contains_member_call(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const bool dot = pos >= 1 && text[pos - 1] == '.';
+    const bool arrow = pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>';
+    std::size_t end = pos + name.size();
+    pos += 1;
+    if (!dot && !arrow) continue;
+    if (end < text.size() && is_word_char(text[end])) continue;
+    while (end < text.size() && (text[end] == ' ' || text[end] == '\t')) ++end;
+    if (end < text.size() && text[end] == '(') return true;
+  }
+  return false;
+}
+
+struct MemberCallRule {
+  const char* name;
+  const char* hint;
+};
+
+const MemberCallRule kRawLockCalls[] = {
+    {"lock",
+     "raw .lock() call; hold a util::MutexLock / util::UniqueLock "
+     "(util/mutex.hpp) so the critical section is a scope the clang "
+     "thread-safety analysis can see"},
+    {"unlock",
+     "raw .unlock() call; mid-scope unlock/relock dances defeat RAII — "
+     "restructure the locked region into its own scope instead"},
+    {"try_lock",
+     "raw .try_lock() call; route locking through util/mutex.hpp so "
+     "acquire/release stay analyzable"},
+};
+
+const char* const kRawMutexTypes[] = {
+    "std::mutex",           "std::recursive_mutex",
+    "std::timed_mutex",     "std::recursive_timed_mutex",
+    "std::shared_mutex",    "std::shared_timed_mutex",
+};
+
+void scan_lock_discipline(const std::string& relpath,
+                          const std::vector<std::string>& stripped_lines,
+                          const AllowMap& allows, std::vector<Finding>& out) {
+  const std::string rule = "lock-discipline";
+  for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string& line = stripped_lines[i];
+    if (line.empty() || allows.allows(i, rule)) continue;
+    std::string message;
+    if (contains_member_call(line, "detach")) {
+      message =
+          "'.detach()': a detached thread outlives its owner's invariants; "
+          "keep the handle and join it on every exit path (the "
+          "HeartbeatGuard / ThreadPool destructor pattern)";
+    } else {
+      for (const MemberCallRule& r : kRawLockCalls) {
+        if (contains_member_call(line, r.name)) {
+          message = std::string("'.") + r.name + "()': " + r.hint;
+          break;
+        }
+      }
+    }
+    if (message.empty()) {
+      for (const char* type : kRawMutexTypes) {
+        // Qualified-type occurrence with a word boundary on the right.
+        std::size_t pos = 0;
+        const std::string t(type);
+        while ((pos = line.find(t, pos)) != std::string::npos) {
+          const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+          const std::size_t end = pos + t.size();
+          const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+          pos += 1;
+          if (left_ok && right_ok) {
+            message = std::string("'") + type +
+                      "': declare util::Mutex (util/mutex.hpp) instead — "
+                      "the annotated capability type is what lets clang "
+                      "check lock discipline at compile time";
+            break;
+          }
+        }
+        if (!message.empty()) break;
+      }
+    }
+    if (!message.empty()) {
+      out.push_back({relpath, i + 1, rule, normalize_ws(line), message});
+    }
+  }
+}
+
+// -------------------------------------------------- guarded-member scanning
+
+bool mentions_mutex_type(const std::string& stmt) {
+  return contains_word(stmt, "Mutex") || contains_word(stmt, "mutex") ||
+         contains_word(stmt, "recursive_mutex") ||
+         contains_word(stmt, "timed_mutex") ||
+         contains_word(stmt, "shared_mutex") ||
+         contains_word(stmt, "shared_timed_mutex");
+}
+
+/// Extracts the class name from the declaration text preceding its '{'
+/// (e.g. "template <class T> class Foo final" -> "Foo").  Cosmetic only —
+/// used in finding messages and baseline keys.
+std::string class_name_of(const std::string& decl) {
+  std::string head = decl;
+  // Cut a base-clause: the first ':' that is not part of '::'.
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (head[i] != ':') continue;
+    const bool double_colon = (i + 1 < head.size() && head[i + 1] == ':') ||
+                              (i > 0 && head[i - 1] == ':');
+    if (!double_colon) {
+      head = head.substr(0, i);
+      break;
+    }
+  }
+  std::string name;
+  std::string token;
+  const auto flush = [&] {
+    if (token.empty()) return;
+    if (token != "final" && token != "alignas" &&
+        !starts_with(token, "TEGREC_")) {
+      name = token;  // last plausible identifier wins
+    }
+    token.clear();
+  };
+  for (char c : head) {
+    if (is_word_char(c)) {
+      token += c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return name.empty() ? std::string("<anonymous>") : name;
+}
+
+/// One class/struct body being walked; `members` holds the direct data
+/// members that still need a guard once the body closes.
+struct GuardedScanLevel {
+  bool is_class = false;
+  std::string class_name;
+  bool has_mutex = false;
+  struct Candidate {
+    std::string name;
+    std::size_t line = 0;
+  };
+  std::vector<Candidate> candidates;
+  std::string stmt;
+  std::size_t stmt_line = 1;
+  bool stmt_had_braces = false;
+};
+
+void process_member_statement(GuardedScanLevel& level) {
+  std::string stmt = normalize_ws(level.stmt);
+  const std::size_t line = level.stmt_line;
+  const bool had_braces = level.stmt_had_braces;
+  level.stmt.clear();
+  level.stmt_had_braces = false;
+  if (!level.is_class || stmt.empty() || had_braces) return;
+  for (const char* label : {"public:", "private:", "protected:"}) {
+    if (starts_with(stmt, label)) {
+      stmt = stmt.substr(std::string(label).size());
+      while (!stmt.empty() && stmt.front() == ' ') stmt.erase(0, 1);
+    }
+  }
+  if (stmt.empty()) return;
+  for (const char* prefix : {"static", "using", "typedef", "friend",
+                             "template", "operator", "enum"}) {
+    if (starts_with(stmt, prefix)) return;
+  }
+  if (stmt.find("operator") != std::string::npos) return;
+  // Annotated (or documented-exempt) members are satisfied.
+  if (stmt.find("TEGREC_GUARDED_BY") != std::string::npos ||
+      stmt.find("TEGREC_PT_GUARDED_BY") != std::string::npos) {
+    return;
+  }
+  if (mentions_mutex_type(stmt)) {
+    level.has_mutex = true;  // the capability itself needs no guard
+    return;
+  }
+  // A '(' at this point is a constructor/function declaration (annotated
+  // members were dispatched above, so macro parens no longer reach here).
+  const std::size_t eq = stmt.find('=');
+  const std::string lhs = eq == std::string::npos ? stmt : stmt.substr(0, eq);
+  if (lhs.find('(') != std::string::npos) return;
+  if (contains_word(stmt, "atomic") || contains_word(stmt, "atomic_bool") ||
+      contains_word(stmt, "condition_variable") ||
+      contains_word(stmt, "condition_variable_any")) {
+    return;
+  }
+  if (starts_with(stmt, "const ") || starts_with(stmt, "constexpr ") ||
+      starts_with(stmt, "mutable const ")) {
+    return;
+  }
+  if (lhs.find('&') != std::string::npos) return;  // bound at construction
+  std::size_t end = lhs.size();
+  while (end > 0 && !is_word_char(lhs[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_word_char(lhs[begin - 1])) --begin;
+  if (end == begin) return;
+  level.candidates.push_back({lhs.substr(begin, end - begin), line});
+}
+
+void scan_guarded_member(const std::string& relpath,
+                         const std::string& stripped,
+                         const AllowMap& allows, std::vector<Finding>& out) {
+  std::vector<GuardedScanLevel> stack(1);  // sentinel: file scope
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    GuardedScanLevel& top = stack.back();
+    if (c == '\n') ++line;
+    if (c == '{') {
+      GuardedScanLevel next;
+      const std::string decl = normalize_ws(top.stmt);
+      if (!contains_word(decl, "enum") &&
+          (contains_word(decl, "struct") || contains_word(decl, "class") ||
+           contains_word(decl, "union"))) {
+        next.is_class = true;
+        next.class_name = class_name_of(decl);
+      }
+      next.stmt_line = line;
+      stack.push_back(std::move(next));
+      continue;
+    }
+    if (c == '}') {
+      if (stack.size() > 1) {
+        GuardedScanLevel closed = std::move(stack.back());
+        stack.pop_back();
+        if (closed.is_class && closed.has_mutex) {
+          for (const auto& cand : closed.candidates) {
+            if (cand.line >= 1 && allows.allows(cand.line - 1, "guarded-member")) {
+              continue;
+            }
+            out.push_back(
+                {relpath, cand.line, "guarded-member",
+                 closed.class_name + "." + cand.name,
+                 "member '" + cand.name + "' of mutex-owning class '" +
+                     closed.class_name +
+                     "' has no TEGREC_GUARDED_BY annotation — guard it, "
+                     "make it std::atomic/const, or justify with "
+                     "// tegrec-lint: allow(guarded-member)"});
+          }
+        }
+        // Lookahead: '}' directly followed by ';' closes a type or a
+        // brace-initialised member — the outer statement survives (and is
+        // skipped as brace-bearing); anything else was a function body.
+        std::size_t p = i + 1;
+        while (p < stripped.size() &&
+               (stripped[p] == ' ' || stripped[p] == '\t' ||
+                stripped[p] == '\n')) {
+          ++p;
+        }
+        GuardedScanLevel& outer = stack.back();
+        if (p < stripped.size() && stripped[p] == ';') {
+          outer.stmt_had_braces = true;
+        } else {
+          outer.stmt.clear();
+          outer.stmt_had_braces = false;
+        }
+      }
+      continue;
+    }
+    if (c == ';') {
+      process_member_statement(top);
+      top.stmt_line = line;
+      continue;
+    }
+    if (top.stmt.empty() && (c == ' ' || c == '\t' || c == '\n')) {
+      top.stmt_line = line;
+      continue;
+    }
+    if (top.stmt.empty()) top.stmt_line = line;
+    top.stmt += c == '\n' ? ' ' : c;
+    if (c == ':') {
+      // Access labels end a statement without ';'; keeping them glued to
+      // the next member would misattribute its declaration line.
+      const std::string flat = normalize_ws(top.stmt);
+      if (flat == "public:" || flat == "private:" || flat == "protected:") {
+        top.stmt.clear();
+        top.stmt_had_braces = false;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ annotation-drift scanning
+
+void scan_annotation_drift(const std::string& relpath,
+                           const std::string& stripped,
+                           const AllowMap& allows,
+                           std::vector<Finding>& out) {
+  if (allows.allows(0, "annotation-drift")) return;
+  if (!mentions_mutex_type(stripped)) return;
+  if (stripped.find("TEGREC_") != std::string::npos) return;
+  out.push_back(
+      {relpath, 1, "annotation-drift", "mutex-without-annotations",
+       "header names a mutex but carries no TEGREC_* thread-safety "
+       "annotation — the class drifted out of the compile-time "
+       "lock-discipline net (see docs/static_analysis.md); annotate its "
+       "guarded members or justify with "
+       "// tegrec-lint: allow(annotation-drift)"});
+}
+
 void scan_using_namespace(const std::string& relpath,
                           const std::vector<std::string>& stripped_lines,
                           const AllowMap& allows, std::vector<Finding>& out) {
@@ -556,6 +861,15 @@ std::vector<Finding> scan_source(const std::string& relpath,
                   options.raw_publish_dirs.end(),
                   [&](const std::string& d) { return starts_with(relpath, d); });
 
+  const bool in_concurrency_scope =
+      std::any_of(options.concurrency_dirs.begin(),
+                  options.concurrency_dirs.end(),
+                  [&](const std::string& d) { return starts_with(relpath, d); });
+  const bool lock_discipline_exempt =
+      std::any_of(options.lock_discipline_exempt.begin(),
+                  options.lock_discipline_exempt.end(),
+                  [&](const std::string& f) { return relpath == f; });
+
   if (in_determinism_scope) {
     scan_token_rules("determinism", kDeterminismTokens,
                      std::size(kDeterminismTokens), relpath, stripped_lines,
@@ -570,6 +884,15 @@ std::vector<Finding> scan_source(const std::string& relpath,
   scan_float_tol(relpath, stripped_lines, allows, findings);
   scan_token_rules("api-io", kApiIoTokens, std::size(kApiIoTokens), relpath,
                    stripped_lines, allows, findings);
+  if (!lock_discipline_exempt) {
+    scan_lock_discipline(relpath, stripped_lines, allows, findings);
+  }
+  if (in_concurrency_scope) {
+    scan_guarded_member(relpath, stripped, allows, findings);
+    if (is_header) {
+      scan_annotation_drift(relpath, stripped, allows, findings);
+    }
+  }
   if (is_header) {
     scan_using_namespace(relpath, stripped_lines, allows, findings);
     scan_include_guard(relpath, stripped, allows, findings);

@@ -39,6 +39,23 @@
 //  * using-namespace — no `using namespace` in headers.
 //  * include-guard — headers use `#pragma once` (the project standard),
 //                    not ifndef guards, and never nothing.
+//  * guarded-member — in the concurrency layer (src/util, src/sim), every
+//                    data member of a class that owns a mutex must carry a
+//                    TEGREC_GUARDED_BY annotation, be std::atomic/const/a
+//                    reference/a condition_variable, or carry an inline
+//                    `// tegrec-lint: allow(guarded-member)` with a
+//                    justification.  An unguarded member next to a mutex
+//                    is exactly the shape of a forgotten-lock data race.
+//  * lock-discipline — no raw `.lock()` / `.unlock()` / `.try_lock()`
+//                    member calls and no std::mutex declarations outside
+//                    util/mutex.hpp (the annotated RAII door: util::Mutex,
+//                    util::MutexLock, util::UniqueLock), and no
+//                    `.detach()` anywhere.  Mid-scope unlock/relock dances
+//                    defeat both RAII and clang's thread-safety analysis.
+//  * annotation-drift — a concurrency-layer header that names a mutex but
+//                    never uses a TEGREC_* annotation has drifted out of
+//                    the compile-time lock-discipline net; annotate it (or
+//                    justify with an allow).
 //
 // Findings print as `file:line: [rule] message`.  A finding is suppressed
 // by `// tegrec-lint: allow(rule)` on the offending line or on a
@@ -94,6 +111,12 @@ struct Options {
   /// whose files are observed by concurrent processes (spool jobs, cached
   /// artifacts).  src/util hosts the sanctioned atomic door and is exempt.
   std::vector<std::string> raw_publish_dirs = {"src/sim/"};
+  /// Directory prefixes forming the concurrency layer: guarded-member
+  /// applies to every file here, annotation-drift to the headers.
+  std::vector<std::string> concurrency_dirs = {"src/util/", "src/sim/"};
+  /// Files exempt from lock-discipline: the annotated RAII wrappers
+  /// themselves must touch the raw primitives.
+  std::vector<std::string> lock_discipline_exempt = {"src/util/mutex.hpp"};
 };
 
 /// Scans one file's content.  `relpath` (repo-relative, '/'-separated)

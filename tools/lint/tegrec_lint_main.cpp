@@ -3,6 +3,7 @@
 // suppression syntax, baseline ratchet).
 //
 //   tegrec_lint --root <repo> [--baseline <file>] [--update-baseline]
+//               [--json]
 //   tegrec_lint --list-rules
 //
 // Exit status: 0 when every finding is baselined (or none exist),
@@ -10,9 +11,15 @@
 // entries are reported but do not fail the gate; --update-baseline
 // rewrites the baseline to exactly the current findings (the ratchet:
 // run it after fixing violations to tighten, never to hide new ones).
+//
+// --json replaces the human-readable report with one JSON object
+// ({"findings": [{rule, file, line, message}, ...], ...}) for editor and
+// CI integration; exit-code semantics are unchanged.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "lint/lint.hpp"
 
@@ -39,6 +46,17 @@ void print_rules() {
       << "                   use the atomic door in util/atomic_file.hpp\n"
       << "  using-namespace  no 'using namespace' in headers\n"
       << "  include-guard    headers use #pragma once\n"
+      << "  guarded-member   data members of mutex-owning classes in "
+         "src/{util,sim} must carry\n"
+      << "                   TEGREC_GUARDED_BY, be std::atomic/const, or "
+         "justify an allow\n"
+      << "  lock-discipline  no raw .lock()/.unlock()/.try_lock() or "
+         "std::mutex outside\n"
+      << "                   util/mutex.hpp (the annotated RAII door); no "
+         ".detach() anywhere\n"
+      << "  annotation-drift concurrency-layer headers that name a mutex "
+         "must use TEGREC_*\n"
+      << "                   thread-safety annotations\n"
       << "\ncache-key covers these structs:\n";
   for (const auto& spec : tegrec::lint::default_struct_specs()) {
     std::cout << "  " << spec.header_path << ": " << spec.struct_name;
@@ -51,8 +69,55 @@ void print_rules() {
 
 int usage() {
   std::cerr << "usage: tegrec_lint --root <repo-root> [--baseline <file>]\n"
-               "                   [--update-baseline] | --list-rules\n";
+               "                   [--update-baseline] [--json] | "
+               "--list-rules\n";
   return 2;
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_findings_json(const std::vector<tegrec::lint::Finding>& findings,
+                         const char* indent) {
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    std::cout << indent << "{\"rule\": \"" << json_escape(f.rule)
+              << "\", \"file\": \"" << json_escape(f.file)
+              << "\", \"line\": " << f.line << ", \"message\": \""
+              << json_escape(f.message) << "\"}"
+              << (i + 1 < findings.size() ? ",\n" : "\n");
+  }
 }
 
 }  // namespace
@@ -61,6 +126,7 @@ int main(int argc, char** argv) {
   std::string root;
   std::string baseline_path;
   bool update_baseline = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -69,6 +135,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--update-baseline") {
       update_baseline = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -100,15 +168,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  for (const auto& f : report.findings) {
-    std::cout << f.file;
-    if (f.line > 0) std::cout << ":" << f.line;
-    std::cout << ": [" << f.rule << "] " << f.message << "\n";
-  }
-  for (const auto& key : report.stale_baseline) {
-    std::cout << "stale baseline entry (fixed? tighten the ratchet by "
-                 "removing it): "
-              << key << "\n";
+  if (json) {
+    std::cout << "{\n  \"files_scanned\": " << report.files_scanned
+              << ",\n  \"findings\": [\n";
+    print_findings_json(report.findings, "    ");
+    std::cout << "  ],\n  \"baselined\": [\n";
+    print_findings_json(report.baselined, "    ");
+    std::cout << "  ],\n  \"stale_baseline\": [\n";
+    std::size_t i = 0;
+    for (const auto& key : report.stale_baseline) {
+      std::cout << "    \"" << json_escape(key) << "\""
+                << (++i < report.stale_baseline.size() ? ",\n" : "\n");
+    }
+    std::cout << "  ]\n}\n";
+  } else {
+    for (const auto& f : report.findings) {
+      std::cout << f.file;
+      if (f.line > 0) std::cout << ":" << f.line;
+      std::cout << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    for (const auto& key : report.stale_baseline) {
+      std::cout << "stale baseline entry (fixed? tighten the ratchet by "
+                   "removing it): "
+                << key << "\n";
+    }
   }
 
   if (update_baseline && !baseline_path.empty()) {
@@ -132,8 +215,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::cout << "tegrec_lint: " << report.files_scanned << " files scanned, "
-            << report.findings.size() << " finding(s), "
-            << report.baselined.size() << " baselined\n";
+  if (!json) {
+    std::cout << "tegrec_lint: " << report.files_scanned << " files scanned, "
+              << report.findings.size() << " finding(s), "
+              << report.baselined.size() << " baselined\n";
+  }
   return report.findings.empty() ? 0 : 1;
 }

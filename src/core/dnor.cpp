@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/objective.hpp"
+#include "core/state_codec.hpp"
 #include "util/runtime_clock.hpp"
 
 namespace tegrec::core {
@@ -123,6 +124,92 @@ void DnorReconfigurer::reset() {
   current_ = teg::ArrayConfig();
   decisions_ = 0;
   switches_ = 0;
+}
+
+bool DnorReconfigurer::supports_checkpoint() const {
+  return predictor_->refit_is_pure();
+}
+
+std::string DnorReconfigurer::checkpoint_state() const {
+  if (!supports_checkpoint()) {
+    throw std::logic_error(
+        "DNOR: checkpointing unsupported over an impure-refit predictor (" +
+        predictor_->name() + ")");
+  }
+  std::string out;
+  detail::emit_kv(out, "state", "dnor-v1");
+  detail::emit_kv(out, "next_decision_time_s",
+                  detail::format_double(next_decision_time_s_));
+  detail::emit_kv(out, "has_config", has_config_ ? "1" : "0");
+  detail::emit_kv(out, "config_starts",
+                  detail::join_indices(current_.group_starts()));
+  detail::emit_kv(out, "config_modules",
+                  std::to_string(current_.num_modules()));
+  detail::emit_kv(out, "decisions", std::to_string(decisions_));
+  detail::emit_kv(out, "switches", std::to_string(switches_));
+  detail::emit_kv(out, "has_history", history_ ? "1" : "0");
+  if (history_) {
+    detail::emit_kv(out, "history_modules",
+                    std::to_string(history_->num_modules()));
+    detail::emit_kv(out, "history_capacity",
+                    std::to_string(history_->capacity()));
+    detail::emit_kv(out, "history_rows", std::to_string(history_->size()));
+    for (std::size_t r = 0; r < history_->size(); ++r) {
+      detail::emit_kv(out, "row", detail::join_doubles(history_->row(r)));
+    }
+  }
+  return out;
+}
+
+void DnorReconfigurer::restore_checkpoint_state(const std::string& state) {
+  if (!supports_checkpoint()) {
+    throw std::logic_error(
+        "DNOR: checkpointing unsupported over an impure-refit predictor (" +
+        predictor_->name() + ")");
+  }
+  detail::KvReader reader(state);
+  if (reader.expect("state") != "dnor-v1") {
+    throw std::runtime_error("DNOR: unknown state blob version");
+  }
+  const double next_decision = reader.expect_double("next_decision_time_s");
+  const bool has_config = reader.expect_bool("has_config");
+  std::vector<std::size_t> starts =
+      detail::split_indices(reader.expect("config_starts"));
+  const auto config_modules =
+      static_cast<std::size_t>(reader.expect_u64("config_modules"));
+  const auto decisions = static_cast<std::size_t>(reader.expect_u64("decisions"));
+  const auto switches = static_cast<std::size_t>(reader.expect_u64("switches"));
+  const bool has_history = reader.expect_bool("has_history");
+  std::unique_ptr<predict::TemperatureHistory> history;
+  if (has_history) {
+    const auto modules =
+        static_cast<std::size_t>(reader.expect_u64("history_modules"));
+    const auto capacity =
+        static_cast<std::size_t>(reader.expect_u64("history_capacity"));
+    const auto rows = static_cast<std::size_t>(reader.expect_u64("history_rows"));
+    history = std::make_unique<predict::TemperatureHistory>(modules, capacity);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::vector<double> row = detail::split_doubles(reader.expect("row"));
+      if (row.size() != modules) {
+        throw std::runtime_error("DNOR: history row width mismatch");
+      }
+      history->push(row);
+    }
+  }
+  reader.finish();
+
+  // ArrayConfig's constructor validates the starts; only assign the members
+  // once everything parsed, so a bad blob never half-applies.
+  teg::ArrayConfig config;
+  if (has_config) {
+    config = teg::ArrayConfig(std::move(starts), config_modules);
+  }
+  next_decision_time_s_ = next_decision;
+  has_config_ = has_config;
+  current_ = std::move(config);
+  decisions_ = decisions;
+  switches_ = switches;
+  history_ = std::move(history);
 }
 
 }  // namespace tegrec::core

@@ -46,6 +46,15 @@ class DnorReconfigurer final : public Reconfigurer {
                       double ambient_c) override;
   void reset() override;
 
+  /// DNOR is checkpoint-pure through its archived history: the predictor is
+  /// re-fit from history_ before every decision, so serialising the window
+  /// plus the decision-cadence scalars reproduces the exact future decision
+  /// stream — but only when the predictor's refit is itself pure (MLR/SVR;
+  /// BPNN's persistent SGD RNG breaks the contract and reports false here).
+  bool supports_checkpoint() const override;
+  std::string checkpoint_state() const override;
+  void restore_checkpoint_state(const std::string& state) override;
+
   /// Decision counters (exposed for the experiment harnesses).
   std::size_t decisions_made() const { return decisions_; }
   std::size_t switches_taken() const { return switches_; }

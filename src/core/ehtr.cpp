@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/objective.hpp"
+#include "core/state_codec.hpp"
 #include "teg/array_evaluator.hpp"
 #include "util/parallel.hpp"
 #include "util/runtime_clock.hpp"
@@ -249,6 +250,18 @@ void EhtrReconfigurer::reset() {
   has_config_ = false;
   next_run_time_s_ = 0.0;
   current_ = teg::ArrayConfig();
+}
+
+std::string EhtrReconfigurer::checkpoint_state() const {
+  return detail::encode_periodic_state(
+      "ehtr-v1", {next_run_time_s_, has_config_, current_});
+}
+
+void EhtrReconfigurer::restore_checkpoint_state(const std::string& state) {
+  detail::PeriodicState decoded = detail::decode_periodic_state("ehtr-v1", state);
+  next_run_time_s_ = decoded.next_run_time_s;
+  has_config_ = decoded.has_config;
+  current_ = std::move(decoded.current);
 }
 
 }  // namespace tegrec::core

@@ -126,6 +126,14 @@ class EhtrReconfigurer final : public Reconfigurer {
                       double ambient_c) override;
   void reset() override;
 
+  /// Stateless between invocations apart from the (next run time, held
+  /// config) pair, so checkpoints round-trip trivially.  The DP runs fresh
+  /// per invocation and is bit-identical for every thread count, so the
+  /// restored decision stream matches regardless of num_threads.
+  bool supports_checkpoint() const override { return true; }
+  std::string checkpoint_state() const override;
+  void restore_checkpoint_state(const std::string& state) override;
+
  private:
   teg::DeviceParams device_;
   power::Converter converter_;

@@ -1,5 +1,7 @@
 #include "core/fixed_baseline.hpp"
 
+#include "core/state_codec.hpp"
+
 namespace tegrec::core {
 
 FixedBaselineReconfigurer::FixedBaselineReconfigurer(teg::ArrayConfig config)
@@ -27,5 +29,23 @@ UpdateResult FixedBaselineReconfigurer::update(
 }
 
 void FixedBaselineReconfigurer::reset() { first_ = true; }
+
+std::string FixedBaselineReconfigurer::checkpoint_state() const {
+  std::string out;
+  detail::emit_kv(out, "state", "baseline-v1");
+  detail::emit_kv(out, "first", first_ ? "1" : "0");
+  return out;
+}
+
+void FixedBaselineReconfigurer::restore_checkpoint_state(
+    const std::string& state) {
+  detail::KvReader reader(state);
+  if (reader.expect("state") != "baseline-v1") {
+    throw std::runtime_error("Baseline: unknown state blob version");
+  }
+  const bool first = reader.expect_bool("first");
+  reader.finish();
+  first_ = first;
+}
 
 }  // namespace tegrec::core

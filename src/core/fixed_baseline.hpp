@@ -26,6 +26,12 @@ class FixedBaselineReconfigurer final : public Reconfigurer {
                       double ambient_c) override;
   void reset() override;
 
+  /// The only mutable state is the first-call flag (the fixed config is
+  /// construction-time identity, guarded by the checkpoint's spec stamp).
+  bool supports_checkpoint() const override { return true; }
+  std::string checkpoint_state() const override;
+  void restore_checkpoint_state(const std::string& state) override;
+
  private:
   teg::ArrayConfig config_;
   bool first_ = true;

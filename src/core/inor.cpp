@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/objective.hpp"
+#include "core/state_codec.hpp"
 #include "util/runtime_clock.hpp"
 
 namespace tegrec::core {
@@ -111,6 +112,18 @@ void InorReconfigurer::reset() {
   has_config_ = false;
   next_run_time_s_ = 0.0;
   current_ = teg::ArrayConfig();
+}
+
+std::string InorReconfigurer::checkpoint_state() const {
+  return detail::encode_periodic_state(
+      "inor-v1", {next_run_time_s_, has_config_, current_});
+}
+
+void InorReconfigurer::restore_checkpoint_state(const std::string& state) {
+  detail::PeriodicState decoded = detail::decode_periodic_state("inor-v1", state);
+  next_run_time_s_ = decoded.next_run_time_s;
+  has_config_ = decoded.has_config;
+  current_ = std::move(decoded.current);
 }
 
 }  // namespace tegrec::core

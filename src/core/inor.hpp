@@ -52,6 +52,12 @@ class InorReconfigurer final : public Reconfigurer {
                       double ambient_c) override;
   void reset() override;
 
+  /// Stateless between invocations apart from the (next run time, held
+  /// config) pair, so checkpoints round-trip trivially.
+  bool supports_checkpoint() const override { return true; }
+  std::string checkpoint_state() const override;
+  void restore_checkpoint_state(const std::string& state) override;
+
  private:
   teg::DeviceParams device_;
   power::Converter converter_;

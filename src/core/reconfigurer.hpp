@@ -8,6 +8,7 @@
 // compute time (the paper's "average runtime" column).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,33 @@ class Reconfigurer {
 
   /// Resets internal state (history, held configuration) for a fresh run.
   virtual void reset() = 0;
+
+  // ------------------------------------------------ streaming checkpoints
+  //
+  // A checkpointable controller can externalise its entire mutable state as
+  // a versioned text blob and reinstate it later, such that the restored
+  // controller's future update() stream is bit-identical to the original's.
+  // The blob is opaque to callers (sim::SimStepper embeds it verbatim in
+  // its checkpoint file); each implementation guards its own format line.
+  // The default says no — a controller that cannot honour the bit-identity
+  // contract (e.g. DNOR over a BPNN predictor, whose refit RNG advances
+  // across fits) must not pretend otherwise.
+
+  /// True when checkpoint_state()/restore_checkpoint_state() round-trip.
+  virtual bool supports_checkpoint() const { return false; }
+
+  /// Serialises the mutable state.  Throws std::logic_error when
+  /// supports_checkpoint() is false.
+  virtual std::string checkpoint_state() const {
+    throw std::logic_error(name() + ": checkpointing not supported");
+  }
+
+  /// Reinstates a checkpoint_state() blob.  Throws std::logic_error when
+  /// unsupported and std::runtime_error on a malformed blob.
+  virtual void restore_checkpoint_state(const std::string& state) {
+    (void)state;
+    throw std::logic_error(name() + ": checkpointing not supported");
+  }
 };
 
 }  // namespace tegrec::core

@@ -1,6 +1,7 @@
 #include "power/battery.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace tegrec::power {
@@ -44,6 +45,17 @@ double Battery::absorb(double power_w, double dt_s) {
   }
   energy_j_ += accepted_w * dt_s;
   return accepted_w;
+}
+
+void Battery::restore_state(double soc, double energy_absorbed_j) {
+  if (!std::isfinite(soc) || soc < 0.0 || soc > 1.0) {
+    throw std::invalid_argument("Battery::restore_state: SOC out of [0,1]");
+  }
+  if (!std::isfinite(energy_absorbed_j) || energy_absorbed_j < 0.0) {
+    throw std::invalid_argument("Battery::restore_state: negative energy");
+  }
+  soc_ = soc;
+  energy_j_ = energy_absorbed_j;
 }
 
 }  // namespace tegrec::power

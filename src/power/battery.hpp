@@ -36,6 +36,13 @@ class Battery {
   /// Total energy absorbed since construction [J].
   double energy_absorbed_j() const { return energy_j_; }
 
+  /// Reinstates a previously observed (soc, energy_absorbed_j) pair — the
+  /// battery's entire mutable state — for checkpoint/restore of streaming
+  /// runs.  Restoring the values a live battery reported reproduces its
+  /// future absorb() stream bit-identically.  Throws std::invalid_argument
+  /// on a SOC outside [0, 1] or a negative/non-finite energy.
+  void restore_state(double soc, double energy_absorbed_j);
+
  private:
   BatteryParams params_;
   double soc_ = 0.7;

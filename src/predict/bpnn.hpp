@@ -33,6 +33,9 @@ class BpnnPredictor final : public Predictor {
   std::size_t num_lags() const override { return params_.lags; }
   void fit(const TemperatureHistory& history) override;
   bool is_fitted() const override { return fitted_; }
+  /// fit() shuffles with rng_, which advances across fits: refitting the
+  /// same history after a restore would train a different net.
+  bool refit_is_pure() const override { return false; }
   std::vector<double> predict_next(const TemperatureHistory& history) const override;
 
   /// Mean squared training error of the last fit (standardised units).

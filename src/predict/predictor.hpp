@@ -26,6 +26,14 @@ class Predictor {
   /// Fits on the history; requires history.size() > num_lags().
   virtual void fit(const TemperatureHistory& history) = 0;
 
+  /// True when fit() is a pure function of the history — refitting on the
+  /// same rows reproduces the same model.  DNOR re-fits its predictor from
+  /// the archived history before every decision, so a pure-refit predictor
+  /// makes the whole controller checkpointable through that history alone.
+  /// BPNN overrides this to false: its SGD shuffles with a persistent RNG
+  /// that advances across fits, so a refit after restore diverges.
+  virtual bool refit_is_pure() const { return true; }
+
   virtual bool is_fitted() const = 0;
 
   /// One-step-ahead forecast of every module's temperature.

@@ -1,14 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <memory>
 #include <stdexcept>
 
-#include "core/objective.hpp"
-#include "power/charger.hpp"
-#include "switchfab/switch_network.hpp"
-#include "teg/array.hpp"
-#include "teg/array_evaluator.hpp"
+#include "sim/stepper.hpp"
 
 namespace tegrec::sim {
 
@@ -29,80 +23,19 @@ SimulationResult run_simulation(core::Reconfigurer& controller,
   if (trace.num_steps() == 0) {
     throw std::invalid_argument("run_simulation: empty trace");
   }
-  controller.reset();
-
-  SimulationResult result;
-  result.algorithm = controller.name();
-  result.steps.reserve(trace.num_steps());
-
-  const double dt = trace.dt_s();
-  power::Converter converter(options.converter);
-  power::Battery battery(options.battery);
-  std::unique_ptr<switchfab::SwitchNetwork> fabric;  // built on first config
-  double total_compute_s = 0.0;
-
+  // The batch run is literally the streaming run fed from a file: a
+  // SimStepper consuming the trace one row at a time.  The stepper resets
+  // the controller and replicates the historical loop body bit for bit
+  // (tests/test_stepper.cpp holds the identity).
+  SimStepper stepper(controller, trace.dt_s(), trace.num_modules(), options);
+  TraceSample sample;
   for (std::size_t t = 0; t < trace.num_steps(); ++t) {
-    StepRecord rec;
-    rec.time_s = static_cast<double>(t) * dt;
-
-    const std::vector<double> delta_t = trace.step_delta_t(t);
-    const double ambient = trace.ambient_c(t);
-    const core::UpdateResult upd = controller.update(rec.time_s, delta_t, ambient);
-
-    rec.invoked = upd.invoked;
-    rec.switched = upd.switched;
-    rec.compute_time_s = upd.compute_time_s;
-    total_compute_s += upd.compute_time_s;
-    if (upd.invoked) ++result.num_invocations;
-
-    // Actuate the fabric.  The very first configuration is the pre-drive
-    // wiring and costs nothing.
-    bool actuated = false;
-    if (!fabric) {
-      fabric = std::make_unique<switchfab::SwitchNetwork>(trace.num_modules(),
-                                                          upd.config);
-    } else if (upd.actuate) {
-      rec.switch_actuations = fabric->apply(upd.config);
-      actuated = true;
-      ++result.num_switch_events;
-      result.total_switch_actuations += rec.switch_actuations;
-    }
-
-    // Electrical evaluation at this period's temperatures, through the
-    // cached prefix aggregates (no per-step SeriesString materialisation).
-    const teg::TegArray array(options.device, delta_t, ambient);
-    const teg::ArrayEvaluator evaluator(array);
-    rec.ideal_power_w = evaluator.ideal_power_w();
-    rec.gross_power_w = core::config_power_w(evaluator, converter, upd.config);
-
-    // Overhead: an actuation blanks the output for sensing + compute +
-    // switching + MPPT re-settle (Section III.C, model of [5]).
-    double net_energy_j = rec.gross_power_w * dt;
-    if (options.charge_overhead && actuated) {
-      const switchfab::OverheadCost cost = switchfab::reconfiguration_cost(
-          options.overhead, rec.switch_actuations, rec.gross_power_w,
-          options.overhead.compute_budget_s);
-      rec.overhead_energy_j = std::min(cost.energy_j, net_energy_j);
-      net_energy_j -= rec.overhead_energy_j;
-      result.switch_overhead_j += rec.overhead_energy_j;
-    }
-    rec.net_power_w = net_energy_j / dt;
-
-    battery.absorb(rec.net_power_w, dt);
-    result.energy_output_j += net_energy_j;
-    result.ideal_energy_j += rec.ideal_power_w * dt;
-    result.steps.push_back(rec);
+    sample.time_s = static_cast<double>(t) * trace.dt_s();
+    sample.module_temps_c = trace.step_temperatures(t);
+    sample.ambient_c = trace.ambient_c(t);
+    stepper.step(sample);
   }
-
-  result.battery_energy_j = battery.energy_absorbed_j();
-  result.final_soc = battery.soc();
-  result.avg_runtime_ms =
-      1000.0 * total_compute_s / static_cast<double>(trace.num_steps());
-  result.runtime_per_invocation_ms =
-      result.num_invocations == 0
-          ? 0.0
-          : 1000.0 * total_compute_s / static_cast<double>(result.num_invocations);
-  return result;
+  return stepper.result();
 }
 
 }  // namespace tegrec::sim

@@ -49,6 +49,18 @@ struct StepRecord {
 };
 
 /// Aggregates matching the columns of Table I plus extra diagnostics.
+///
+/// Partial-run semantics (streamed runs, sim/stepper.hpp): a
+/// SimStepper::result() snapshot mid-stream is a valid SimulationResult
+/// over the steps consumed so far.  All totals and counters cover exactly
+/// `steps.size()` control periods; the derived rates are defined for every
+/// prefix, including the empty one:
+///   - avg_runtime_ms amortises compute time over steps consumed (0.0 when
+///     no step has run yet — there is no period to amortise over);
+///   - runtime_per_invocation_ms is 0.0 until the first invocation;
+///   - mean_power_w() and ratio_to_ideal() return 0.0 on an empty prefix.
+/// Comparing partial results across algorithms is only meaningful at equal
+/// step counts (they are time-integrals, not rates).
 struct SimulationResult {
   std::string algorithm;
   std::vector<StepRecord> steps;

@@ -567,6 +567,15 @@ std::string emit_spec(const ExperimentSpec& spec, bool include_exec) {
 
 }  // namespace
 
+std::string simulation_options_fingerprint_text(
+    const SimulationOptions& options) {
+  FieldIo io(/*include_exec=*/false);
+  // bind only mutates in parse mode; emit reads through the same
+  // non-const reference.
+  bind(io, const_cast<SimulationOptions&>(options));
+  return io.take_text();
+}
+
 TraceSource scenario_source(const std::string& name) {
   TraceSource source;
   source.kind = TraceSource::Kind::kGenerated;

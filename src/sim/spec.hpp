@@ -73,6 +73,15 @@ struct TraceSource {
   std::shared_ptr<const thermal::TemperatureTrace> inline_trace;
 };
 
+/// The result-affecting fields of one SimulationOptions in the canonical
+/// `key = value` dialect (doubles at %.17g, execution hints excluded) —
+/// the same bindings the experiment-spec fingerprint uses.  Streaming
+/// checkpoints (sim/checkpoint.hpp) embed this text in their
+/// configuration stamp so a checkpoint written under one physics spec can
+/// never silently resume under another.
+std::string simulation_options_fingerprint_text(
+    const SimulationOptions& options);
+
 /// A generated trace source resolved from a named workload scenario:
 /// `kind = kGenerated`, `generator = thermal::scenario(name)`, and
 /// `scenario_name = name` so the canonical text records the provenance.

@@ -1,0 +1,467 @@
+#include "sim/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/float_cmp.hpp"
+#include "util/parse.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TEGREC_HAVE_POSIX_FEEDS 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define TEGREC_HAVE_POSIX_FEEDS 0
+#endif
+
+namespace tegrec::sim {
+
+namespace {
+
+/// Bound on bytes appended per ByteFeed::poll — keeps one poll's work (and
+/// the per-step latency of whatever consumes it) bounded no matter how far
+/// behind the reader is.
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+#if TEGREC_HAVE_POSIX_FEEDS
+void set_nonblocking(int fd, const char* what) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(std::string(what) +
+                             ": cannot set O_NONBLOCK: " +
+                             std::strerror(errno));
+  }
+}
+#endif
+
+}  // namespace
+
+// ------------------------------------------------------------ FileTailFeed
+
+FileTailFeed::FileTailFeed(std::string path) : path_(std::move(path)) {}
+
+ByteFeed::Status FileTailFeed::poll(std::string& chunk) {
+  // Re-open per poll: portable (no inotify), tolerant of the file not
+  // existing yet, and cheap at telemetry rates (one open per poll period,
+  // not per byte).
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::kIdle;  // not created yet — keep waiting
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size < offset_) {
+    throw std::runtime_error("FileTailFeed: '" + path_ +
+                             "' shrank below the tail offset (truncated or "
+                             "replaced mid-stream)");
+  }
+  if (size == offset_) return Status::kIdle;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(size - offset_,
+                                                       kChunkBytes));
+  std::string buf(want, '\0');
+  in.seekg(static_cast<std::streamoff>(offset_));
+  in.read(buf.data(), static_cast<std::streamsize>(want));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got == 0) return Status::kIdle;
+  buf.resize(got);
+  offset_ += got;
+  chunk += buf;
+  return Status::kData;
+}
+
+// ---------------------------------------------------------------- PipeFeed
+
+#if TEGREC_HAVE_POSIX_FEEDS
+
+PipeFeed::PipeFeed(int fd) : fd_(fd) {
+  if (fd < 0) throw std::runtime_error("PipeFeed: bad fd");
+  set_nonblocking(fd_, "PipeFeed");
+}
+
+PipeFeed::~PipeFeed() {
+  // fd 0 is borrowed from the process; anything else was handed to us.
+  if (fd_ > 2) ::close(fd_);
+}
+
+ByteFeed::Status PipeFeed::poll(std::string& chunk) {
+  char buf[kChunkBytes];
+  const ::ssize_t got = ::read(fd_, buf, sizeof(buf));
+  if (got > 0) {
+    chunk.append(buf, static_cast<std::size_t>(got));
+    return Status::kData;
+  }
+  if (got == 0) return Status::kEnd;  // writer closed
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return Status::kIdle;
+  }
+  throw std::runtime_error(std::string("PipeFeed: read failed: ") +
+                           std::strerror(errno));
+}
+
+#else  // !TEGREC_HAVE_POSIX_FEEDS
+
+PipeFeed::PipeFeed(int) {
+  throw std::runtime_error("PipeFeed: not supported on this platform");
+}
+PipeFeed::~PipeFeed() = default;
+ByteFeed::Status PipeFeed::poll(std::string&) { return Status::kEnd; }
+
+#endif
+
+std::string PipeFeed::describe() const {
+  return fd_ == 0 ? "stdin" : "pipe:fd" + std::to_string(fd_);
+}
+
+// ------------------------------------------------------------- TcpLineFeed
+
+#if TEGREC_HAVE_POSIX_FEEDS
+
+TcpLineFeed::TcpLineFeed(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("TcpLineFeed: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 1) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpLineFeed: cannot listen on 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  set_nonblocking(listen_fd_, "TcpLineFeed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpLineFeed: getsockname: " + why);
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpLineFeed::~TcpLineFeed() {
+  if (client_fd_ >= 0) ::close(client_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+ByteFeed::Status TcpLineFeed::poll(std::string& chunk) {
+  if (client_fd_ < 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return Status::kIdle;  // nobody connected yet
+      }
+      throw std::runtime_error(std::string("TcpLineFeed: accept: ") +
+                               std::strerror(errno));
+    }
+    set_nonblocking(fd, "TcpLineFeed");
+    client_fd_ = fd;
+  }
+  char buf[kChunkBytes];
+  const ::ssize_t got = ::recv(client_fd_, buf, sizeof(buf), 0);
+  if (got > 0) {
+    chunk.append(buf, static_cast<std::size_t>(got));
+    return Status::kData;
+  }
+  if (got == 0) {
+    // Peer finished its transmission: the stream is complete.
+    ::close(client_fd_);
+    client_fd_ = -1;
+    return Status::kEnd;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return Status::kIdle;
+  }
+  throw std::runtime_error(std::string("TcpLineFeed: recv: ") +
+                           std::strerror(errno));
+}
+
+#else  // !TEGREC_HAVE_POSIX_FEEDS
+
+TcpLineFeed::TcpLineFeed(std::uint16_t) {
+  throw std::runtime_error("TcpLineFeed: not supported on this platform");
+}
+TcpLineFeed::~TcpLineFeed() = default;
+ByteFeed::Status TcpLineFeed::poll(std::string&) { return Status::kEnd; }
+
+#endif
+
+std::string TcpLineFeed::describe() const {
+  return "tcp:" + std::to_string(port_);
+}
+
+// -------------------------------------------------------------- StringFeed
+
+ByteFeed::Status StringFeed::poll(std::string& chunk) {
+  if (buffer_.empty()) return closed_ ? Status::kEnd : Status::kIdle;
+  const std::size_t take = std::min(buffer_.size(), kChunkBytes);
+  chunk.append(buffer_, 0, take);
+  buffer_.erase(0, take);
+  return Status::kData;
+}
+
+// ----------------------------------------------------- LineTelemetrySource
+
+LineTelemetrySource::LineTelemetrySource(std::unique_ptr<ByteFeed> feed,
+                                         TelemetryOptions options)
+    : feed_(std::move(feed)), options_(options) {
+  if (!feed_) throw std::invalid_argument("LineTelemetrySource: null feed");
+  if (!util::is_exactly_zero(options_.dt_s) &&
+      (!std::isfinite(options_.dt_s) || options_.dt_s <= 0.0)) {
+    throw std::invalid_argument("LineTelemetrySource: bad explicit dt");
+  }
+  if (options_.epoch_s && !std::isfinite(*options_.epoch_s)) {
+    throw std::invalid_argument("LineTelemetrySource: non-finite epoch");
+  }
+  dt_s_ = options_.dt_s;
+  num_modules_ = options_.num_modules;
+  if (options_.epoch_s) {
+    epoch_s_ = *options_.epoch_s;
+    have_epoch_ = true;
+  }
+  next_index_ = options_.start_index;
+}
+
+void LineTelemetrySource::enqueue_grid_sample(std::size_t index,
+                                              std::vector<double> temps,
+                                              double ambient) {
+  // Emitted times are grid-snapped and rebased to t = 0, so the stream is
+  // byte-for-byte the time base a generated TemperatureTrace has and the
+  // stepper's grid check is exact.
+  TraceSample sample;
+  sample.time_s = static_cast<double>(index) * dt_s_;
+  sample.module_temps_c = std::move(temps);
+  sample.ambient_c = ambient;
+  last_temps_ = sample.module_temps_c;
+  last_ambient_ = ambient;
+  have_last_ = true;
+  ready_.push_back(std::move(sample));
+  next_index_ = index + 1;
+  ++emitted_;
+}
+
+void LineTelemetrySource::ingest(const std::string& line) {
+  ++lines_seen_;
+  const std::string where =
+      " (line " + std::to_string(lines_seen_) + " of " + feed_->describe() +
+      ")";
+  if (line.empty()) return;  // tolerate blank separator lines
+
+  // Split on commas; every cell must be non-empty (an empty cell is a
+  // truncated row — load_csv rejects the same way).
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+
+  if (!header_seen_) {
+    if (cells.size() < 3 || cells[0] != "time_s" || cells[1] != "ambient_c") {
+      throw std::runtime_error(
+          "telemetry: first line must be the trace CSV header "
+          "'time_s,ambient_c,t0,...'" +
+          where);
+    }
+    const std::size_t n = cells.size() - 2;
+    if (num_modules_ != 0 && n != num_modules_) {
+      throw std::runtime_error(
+          "telemetry: header has " + std::to_string(n) +
+          " module columns, expected " + std::to_string(num_modules_) + where);
+    }
+    num_modules_ = n;
+    header_seen_ = true;
+    return;
+  }
+
+  if (cells.size() != num_modules_ + 2) {
+    throw std::runtime_error("telemetry: row has " +
+                             std::to_string(cells.size()) + " columns, " +
+                             "expected " + std::to_string(num_modules_ + 2) +
+                             where);
+  }
+  double time = 0.0;
+  double ambient = 0.0;
+  std::vector<double> temps(num_modules_);
+  try {
+    time = util::parse_double(cells[0]);
+    ambient = util::parse_double(cells[1]);
+    for (std::size_t i = 0; i < num_modules_; ++i) {
+      temps[i] = util::parse_double(cells[i + 2]);
+    }
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("telemetry: unparseable cell: ") +
+                             e.what() + where);
+  }
+  if (!std::isfinite(time) || !std::isfinite(ambient)) {
+    throw std::runtime_error("telemetry: non-finite time or ambient" + where);
+  }
+  for (double t : temps) {
+    if (!std::isfinite(t)) {
+      throw std::runtime_error("telemetry: non-finite module temperature" +
+                               where);
+    }
+  }
+
+  // Resolve dt before anything can be placed on the grid.  Derive mode
+  // parks the first data line until the second defines the period — both
+  // are then processed in arrival order.
+  if (util::is_exactly_zero(dt_s_)) {
+    if (!have_parked_) {
+      have_parked_ = true;
+      parked_time_ = time;
+      parked_temps_ = std::move(temps);
+      parked_ambient_ = ambient;
+      return;
+    }
+    const double dt = time - parked_time_;
+    if (!std::isfinite(dt) || dt <= 0.0) {
+      throw std::runtime_error(
+          "telemetry: cannot derive dt (second timestamp does not advance)" +
+          where);
+    }
+    dt_s_ = dt;
+    have_parked_ = false;
+    process_on_grid(parked_time_, std::move(parked_temps_), parked_ambient_,
+                    where);
+    parked_temps_.clear();
+  }
+  process_on_grid(time, std::move(temps), ambient, where);
+}
+
+void LineTelemetrySource::process_on_grid(double time,
+                                          std::vector<double> temps,
+                                          double ambient,
+                                          const std::string& where) {
+  if (!have_epoch_) {
+    // A fresh stream: the first data line defines grid index 0.
+    epoch_s_ = time;
+    have_epoch_ = true;
+  }
+  // Nearest grid point, load_csv's tolerance rule: derived grids only
+  // absorb writer rounding; an explicit dt vouches for the grid, so any
+  // stamp nearest its own grid point is accepted.
+  const double rel = (time - epoch_s_) / dt_s_;
+  const double k_real = std::round(rel);
+  const double expected = epoch_s_ + k_real * dt_s_;
+  const double tol = options_.dt_s > 0.0
+                         ? 0.5 * dt_s_
+                         : 1e-6 * std::max({1.0, dt_s_, std::abs(expected)});
+  if (k_real < 0.0 || std::abs(time - expected) > tol) {
+    throw std::runtime_error(
+        "telemetry: timestamp " + std::to_string(time) +
+        " is not on the grid (epoch " + std::to_string(epoch_s_) + ", dt " +
+        std::to_string(dt_s_) + ")" + where);
+  }
+  const auto k = static_cast<std::size_t>(k_real);
+
+  if (k < options_.start_index) {
+    // Expected replay of history the consumer already has (a resumed run
+    // re-fed from the start of its trace): not an ordering problem.
+    ++replayed_;
+    return;
+  }
+  if (k < next_index_) {
+    TelemetryIssue issue;
+    issue.kind = TelemetryIssue::Kind::kOutOfOrder;
+    issue.detail = "dropped out-of-order sample for t = " +
+                   std::to_string(time) + ", stream is already at step " +
+                   std::to_string(next_index_) + where;
+    issues_.push_back(std::move(issue));
+    return;
+  }
+  if (k > next_index_) {
+    const std::size_t missing = k - next_index_;
+    if (options_.gap_policy == GapPolicy::kReject) {
+      throw std::runtime_error(
+          "telemetry: gap of " + std::to_string(missing) +
+          " grid step(s) before t = " + std::to_string(time) +
+          " (GapPolicy::kReject)" + where);
+    }
+    if (!have_last_) {
+      // A gap with nothing to hold (stream rejoins beyond the resume
+      // point): fabricating temperatures from nothing is never OK.
+      throw std::runtime_error(
+          "telemetry: stream rejoins at step " + std::to_string(k) +
+          " but the run needs step " + std::to_string(next_index_) +
+          " and there is no previous sample to hold" + where);
+    }
+    TelemetryIssue issue;
+    issue.kind = TelemetryIssue::Kind::kGap;
+    issue.detail = "filled " + std::to_string(missing) +
+                   " missing grid step(s) before t = " + std::to_string(time) +
+                   " by holding the last sample" + where;
+    issues_.push_back(std::move(issue));
+    for (std::size_t i = next_index_; i < k; ++i) {
+      enqueue_grid_sample(i, last_temps_, last_ambient_);
+    }
+  }
+  enqueue_grid_sample(k, std::move(temps), ambient);
+}
+
+TelemetryEvent LineTelemetrySource::poll() {
+  TelemetryEvent event;
+  // Deliver queued samples (gap fills, burst arrivals) one per call before
+  // touching the feed again.
+  while (ready_.empty() && !end_) {
+    std::string chunk;
+    const ByteFeed::Status status = feed_->poll(chunk);
+    buffer_ += chunk;
+    // Consume every complete line in the buffer.
+    std::size_t start = 0;
+    for (std::size_t nl = buffer_.find('\n', start);
+         nl != std::string::npos; nl = buffer_.find('\n', start)) {
+      std::string line = buffer_.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = nl + 1;
+      ingest(line);
+    }
+    buffer_.erase(0, start);
+    if (status == ByteFeed::Status::kEnd) {
+      // A final line without a trailing newline still counts (a file's
+      // last row, a generator killed mid-flush is caught by cell checks).
+      if (!buffer_.empty()) {
+        std::string line = buffer_;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buffer_.clear();
+        ingest(line);
+      }
+      end_ = true;
+    } else if (status == ByteFeed::Status::kIdle && ready_.empty()) {
+      event.kind = TelemetryEvent::Kind::kIdle;
+      event.issues = std::move(issues_);
+      issues_.clear();
+      return event;
+    }
+  }
+  if (!ready_.empty()) {
+    event.kind = TelemetryEvent::Kind::kSample;
+    event.sample = std::move(ready_.front());
+    ready_.pop_front();
+  } else {
+    event.kind = TelemetryEvent::Kind::kEnd;
+  }
+  event.issues = std::move(issues_);
+  issues_.clear();
+  return event;
+}
+
+}  // namespace tegrec::sim

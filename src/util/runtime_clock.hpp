@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 namespace tegrec::util {
 
@@ -49,6 +50,43 @@ inline std::uint64_t monotonic_now_ms() {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Count-up timeout on the monotonic millisecond clock — the streaming
+/// server's poll/stall/idle timing primitive.  Like monotonic_now_ms it may
+/// only ever gate *runtime* behaviour (when to warn about a stalled feed,
+/// when to give up waiting); nothing it measures may feed simulated
+/// quantities.  `now_fn` injects a fake clock in tests (nullptr = the real
+/// monotonic_now_ms); a zero timeout never expires.
+class Deadline {
+ public:
+  using NowFn = std::uint64_t (*)();
+
+  explicit Deadline(std::uint64_t timeout_ms, NowFn now_fn = nullptr)
+      : now_fn_(now_fn != nullptr ? now_fn : &monotonic_now_ms),
+        timeout_ms_(timeout_ms),
+        start_ms_(now_fn_()) {}
+
+  /// Restarts the count-up (e.g. on stream activity).
+  void reset() { start_ms_ = now_fn_(); }
+
+  std::uint64_t timeout_ms() const { return timeout_ms_; }
+  std::uint64_t elapsed_ms() const { return now_fn_() - start_ms_; }
+  bool expired() const {
+    return timeout_ms_ != 0 && elapsed_ms() >= timeout_ms_;
+  }
+
+ private:
+  NowFn now_fn_;
+  std::uint64_t timeout_ms_;
+  std::uint64_t start_ms_;
+};
+
+/// Blocking sleep for polling loops (the streaming server between telemetry
+/// polls).  Runtime-only like everything in this header: simulated time
+/// advances by consumed samples, never by sleeping.
+inline void sleep_for_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace tegrec::util

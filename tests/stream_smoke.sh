@@ -1,0 +1,108 @@
+#!/bin/sh
+# End-to-end smoke for `tegrec_cli stream` (docs/streaming.md): real
+# processes, real pipes, real signals.
+#
+#   Phase A — a full trace piped through stdin runs to end-of-stream,
+#             emits decision JSONL, and reports per-step latency.
+#   Phase B — SIGTERM mid-stream exits gracefully: the final checkpoint
+#             is written and the process still reports its progress.
+#   Phase C — the durability contract: SIGKILL mid-stream (no handler,
+#             no destructor), then --resume re-fed from the start of the
+#             same trace; the resumed decision log must be byte-identical
+#             to an uninterrupted run's log.
+#
+# Usage: stream_smoke.sh <path-to-tegrec_cli>
+set -eu
+
+CLI=$1
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/tegrec_stream_smoke.XXXXXX")
+STREAM_PID=""
+FEEDER_PID=""
+cleanup() {
+  for pid in "$STREAM_PID" "$FEEDER_PID"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+TRACE=$WORK/trace.csv
+"$CLI" trace --out "$TRACE" --seed 11 --modules 16 --duration 30
+ROWS=$(($(wc -l < "$TRACE") - 1))
+[ "$ROWS" -gt 20 ] || { echo "FAIL: trace too short ($ROWS rows)"; exit 1; }
+
+# ---------------------------------------------------------------- Phase A
+"$CLI" stream --scheme dnor --out "$WORK/a.jsonl" \
+    < "$TRACE" 2> "$WORK/a.err"
+grep -q '"event":"decision"' "$WORK/a.jsonl" \
+    || { echo "FAIL: no decisions emitted"; cat "$WORK/a.err"; exit 1; }
+grep -q "step latency" "$WORK/a.err" \
+    || { echo "FAIL: no latency report"; cat "$WORK/a.err"; exit 1; }
+grep -q "$ROWS step(s)" "$WORK/a.err" \
+    || { echo "FAIL: did not consume all $ROWS steps"; cat "$WORK/a.err"; exit 1; }
+echo "phase A ok: $ROWS steps, decisions + latency reported"
+
+# ---------------------------------------------------------------- Phase B
+# Feed a prefix through a fifo, hold it open so the stream idles, then
+# SIGTERM.  Graceful shutdown must write the final checkpoint.  (Fifos,
+# not `feeder | cli &`: `wait` on a background pipeline waits for the
+# whole job, feeder included.)
+DT=$(awk -F, 'NR==2 {a=$1} NR==3 {print $1 - a; exit}' "$TRACE")
+MODULES=16
+mkfifo "$WORK/b.fifo"
+"$CLI" stream --scheme dnor --dt "$DT" --modules "$MODULES" \
+    --out "$WORK/b.jsonl" --checkpoint "$WORK/ckpt_b" \
+    < "$WORK/b.fifo" 2> "$WORK/b.err" &
+STREAM_PID=$!
+( head -n 12 "$TRACE"; sleep 60 ) > "$WORK/b.fifo" 2>/dev/null &
+FEEDER_PID=$!
+sleep 2
+kill -TERM "$STREAM_PID"
+wait "$STREAM_PID" || { echo "FAIL: SIGTERM exit not clean"; cat "$WORK/b.err"; exit 1; }
+STREAM_PID=""
+kill -9 "$FEEDER_PID" 2>/dev/null || true
+FEEDER_PID=""
+[ -s "$WORK/ckpt_b/main.ckpt" ] \
+    || { echo "FAIL: no checkpoint after SIGTERM"; cat "$WORK/b.err"; exit 1; }
+grep -q "step(s)" "$WORK/b.err" \
+    || { echo "FAIL: no report after SIGTERM"; cat "$WORK/b.err"; exit 1; }
+echo "phase B ok: graceful SIGTERM left a final checkpoint"
+
+# ---------------------------------------------------------------- Phase C
+# Uninterrupted reference run (same explicit grid as the resumed run).
+"$CLI" stream --scheme dnor --dt "$DT" --modules "$MODULES" \
+    --out "$WORK/ref.jsonl" < "$TRACE" 2> "$WORK/ref.err"
+
+# Kill -9 mid-stream: feed a prefix, hold the fifo open, SIGKILL by PID.
+mkfifo "$WORK/c.fifo"
+"$CLI" stream --scheme dnor --dt "$DT" --modules "$MODULES" \
+    --out "$WORK/c.jsonl" --checkpoint "$WORK/ckpt_c" \
+    --checkpoint-every 5 < "$WORK/c.fifo" 2> "$WORK/c1.err" &
+STREAM_PID=$!
+( head -n 22 "$TRACE"; sleep 60 ) > "$WORK/c.fifo" 2>/dev/null &
+FEEDER_PID=$!
+sleep 2
+kill -9 "$STREAM_PID"
+wait "$STREAM_PID" 2>/dev/null || true
+STREAM_PID=""
+kill -9 "$FEEDER_PID" 2>/dev/null || true
+FEEDER_PID=""
+[ -s "$WORK/ckpt_c/main.ckpt" ] \
+    || { echo "FAIL: no periodic checkpoint before SIGKILL"; cat "$WORK/c1.err"; exit 1; }
+
+# Resume, re-feeding the whole trace: replayed history is skipped and the
+# sink file is rewritten to the checkpointed prefix before new lines.
+"$CLI" stream --scheme dnor --dt "$DT" --modules "$MODULES" \
+    --out "$WORK/c.jsonl" --checkpoint "$WORK/ckpt_c" --resume \
+    < "$TRACE" 2> "$WORK/c2.err"
+grep -q "resumed" "$WORK/c2.err" \
+    || { echo "FAIL: resume not reported"; cat "$WORK/c2.err"; exit 1; }
+grep -q "replayed" "$WORK/c2.err" \
+    || { echo "FAIL: no replayed lines after re-feed"; cat "$WORK/c2.err"; exit 1; }
+cmp -s "$WORK/c.jsonl" "$WORK/ref.jsonl" || {
+  echo "FAIL: resumed log differs from uninterrupted run"
+  diff "$WORK/ref.jsonl" "$WORK/c.jsonl" | head -20
+  exit 1
+}
+echo "phase C ok: SIGKILL + resume log is byte-identical to the reference"
+echo "PASS"

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -1087,6 +1088,17 @@ std::vector<StructSpec> default_struct_specs() {
       {"src/switchfab/overhead.hpp", "OverheadParams", {}},
       {"src/sim/simulator.hpp", "SimulationOptions", {}},
       {"src/sim/experiment.hpp", "ComparisonOptions", {}},
+      // Streaming checkpoint state: serialised by sim/checkpoint.cpp, not
+      // the spec bindings.  A StepperState/StreamConfig field missing from
+      // the codec silently resumes a different simulation; a
+      // SimulationResult/StepRecord field missing loses history across a
+      // checkpoint/restore cycle.  tests/test_checkpoint.cpp is the
+      // runtime twin (round-trip equality field by field).
+      {"src/sim/stepper.hpp", "StepperState", {}, "src/sim/checkpoint.cpp"},
+      {"src/sim/checkpoint.hpp", "StreamConfig", {}, "src/sim/checkpoint.cpp"},
+      {"src/sim/simulator.hpp", "SimulationResult", {},
+       "src/sim/checkpoint.cpp"},
+      {"src/sim/simulator.hpp", "StepRecord", {}, "src/sim/checkpoint.cpp"},
   };
 }
 
@@ -1138,12 +1150,23 @@ RepoReport run_repo_lint(const std::string& root,
     ++report.files_scanned;
   }
 
-  const std::string bindings_path = default_bindings_path();
-  const std::string bindings = read_file(root_path / bindings_path);
+  // Bindings sources are read once each, however many specs share them.
+  std::map<std::string, std::string> bindings_cache;
+  const auto bindings_content =
+      [&](const std::string& path) -> const std::string& {
+    auto it = bindings_cache.find(path);
+    if (it == bindings_cache.end()) {
+      it = bindings_cache.emplace(path, read_file(root_path / path)).first;
+    }
+    return it->second;
+  };
   for (const StructSpec& spec : default_struct_specs()) {
+    const std::string bindings_path =
+        spec.bindings_path.empty() ? default_bindings_path()
+                                   : spec.bindings_path;
     const std::vector<Finding> found = check_cache_key(
-        spec, read_file(root_path / spec.header_path), bindings,
-        bindings_path);
+        spec, read_file(root_path / spec.header_path),
+        bindings_content(bindings_path), bindings_path);
     all.insert(all.end(), found.begin(), found.end());
   }
 

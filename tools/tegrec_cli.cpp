@@ -14,6 +14,9 @@
 //   tegrec_cli batch      --specs <dir-or-file> [--jobs J] [--cache DIR]
 //                         [--json] [--spool DIR ...]
 //   tegrec_cli worker     --spool DIR --cache DIR [--owner ID] ...
+//   tegrec_cli stream     [--array NAME=stdin|tail:PATH|tcp:PORT ...]
+//                         [--scheme S] [--dt T] [--modules N] [--out FILE]
+//                         [--checkpoint DIR [--resume]] ...
 //
 // `scenarios` lists the named workload library (thermal/scenario.hpp);
 // `trace` synthesises a workload and writes the per-module temperature CSV;
@@ -29,7 +32,13 @@
 // artifact store, while any number of `worker` processes — on this machine
 // or others sharing the filesystem — claim, execute, and publish jobs;
 // workers drain gracefully on SIGTERM/SIGINT and recover each other's
-// crashes via lease reclaim.  Anywhere a `--scenario` is accepted the
+// crashes via lease reclaim.  `stream` is the live mode (docs/streaming.md):
+// one or more named arrays, each fed CSV telemetry from stdin, a tailed
+// file, or a loopback TCP port, are tracked incrementally through
+// sim::StreamServer; reconfiguration decisions stream out as JSONL, and
+// with --checkpoint the full state (decision log included) survives
+// SIGTERM and even SIGKILL via --resume.  Anywhere a `--scenario` is
+// accepted the
 // resulting spec carries the scenario name into its canonical text, so
 // repeated runs of the same scenario are cache hits.
 //
@@ -53,6 +62,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -77,9 +87,13 @@
 #include "sim/service.hpp"
 #include "sim/spec.hpp"
 #include "sim/spool.hpp"
+#include "sim/stream_server.hpp"
+#include "sim/telemetry.hpp"
 #include "thermal/scenario.hpp"
 #include "thermal/trace.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
+#include "util/mutex.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 
@@ -465,13 +479,14 @@ std::vector<std::string> collect_spec_files(const std::string& path) {
 
 // ------------------------------------------------------- spool farm modes
 
-/// Graceful-drain flag for `worker`: SIGTERM/SIGINT finish the job in
-/// flight, then exit.  (Lock-free store from the handler is async-signal
-/// safe; everything else happens on the main thread.)
-std::atomic<bool> g_worker_stop{false};
+/// Graceful-stop flag for the long-running modes (`worker` drains the job
+/// in flight; `stream` writes a final checkpoint): SIGTERM/SIGINT set it,
+/// the run loop polls it.  (Lock-free store from the handler is
+/// async-signal safe; everything else happens on the worker threads.)
+std::atomic<bool> g_stop_requested{false};
 
-extern "C" void worker_stop_handler(int) {
-  g_worker_stop.store(true, std::memory_order_relaxed);
+extern "C" void stop_request_handler(int) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
 }
 
 std::string default_owner() {
@@ -516,10 +531,10 @@ int cmd_worker(const FlagMap& flags) {
   options.poll_ms = flag_u64(flags, "poll-ms", options.poll_ms);
   options.idle_exit_ms = flag_u64(flags, "idle-exit-ms", 0);
   options.max_jobs = flag_size(flags, "max-jobs", 0);
-  options.stop_flag = &g_worker_stop;
+  options.stop_flag = &g_stop_requested;
 
-  std::signal(SIGTERM, worker_stop_handler);
-  std::signal(SIGINT, worker_stop_handler);
+  std::signal(SIGTERM, stop_request_handler);
+  std::signal(SIGINT, stop_request_handler);
 
   std::fprintf(stderr, "worker %s: spool %s, store %s\n",
                options.owner.c_str(), queue.root().c_str(),
@@ -535,9 +550,217 @@ int cmd_worker(const FlagMap& flags) {
                static_cast<unsigned long long>(stats.store_hits),
                static_cast<unsigned long long>(stats.failures),
                static_cast<unsigned long long>(stats.reclaimed),
-               g_worker_stop.load(std::memory_order_relaxed) ? " (drained)"
-                                                             : "");
+               g_stop_requested.load(std::memory_order_relaxed) ? " (drained)"
+                                                                : "");
   return 0;
+}
+
+// ----------------------------------------------------------------- stream
+
+/// The `stream` subcommand's shared JSONL sink.  File-backed (--out) or
+/// stdout; either way the full line history is kept in memory so that a
+/// resume can rewrite a file sink to exactly the checkpointed log prefix
+/// (docs/streaming.md).  Thread-safe: resumes and emissions may race
+/// across array threads.
+class StreamSink {
+ public:
+  /// Empty path streams to stdout.  A file sink opens truncating: under
+  /// --resume the restored log is re-written through restore() before any
+  /// new line lands, so truncation never loses checkpointed history.
+  explicit StreamSink(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    out_.open(path_, std::ios::trunc);
+    if (!out_) {
+      throw std::invalid_argument("--out: cannot open " + path_);
+    }
+  }
+
+  void emit(const std::string& line) {
+    util::MutexLock lock(mutex_);
+    lines_.push_back(line);
+    if (path_.empty()) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    } else {
+      out_ << line << '\n';
+      out_.flush();
+    }
+  }
+
+  /// Splices an array's restored decision log in front of everything this
+  /// process has emitted and rewrites a file sink atomically to match, so
+  /// the on-disk log reads exactly as one uninterrupted run.  On stdout
+  /// the restored lines are simply printed (at-least-once delivery: a
+  /// consumer that saw them before the crash sees them again).
+  void restore(const std::vector<std::string>& restored) {
+    util::MutexLock lock(mutex_);
+    lines_.insert(lines_.begin(), restored.begin(), restored.end());
+    if (path_.empty()) {
+      for (const std::string& line : restored) {
+        std::printf("%s\n", line.c_str());
+      }
+      std::fflush(stdout);
+      return;
+    }
+    out_.close();
+    std::string content;
+    for (const std::string& line : lines_) {
+      content += line;
+      content += '\n';
+    }
+    util::atomic_write_file(path_, content);
+    out_.open(path_, std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("--out: cannot reopen " + path_);
+    }
+  }
+
+ private:
+  util::Mutex mutex_;
+  std::string path_;
+  std::ofstream out_;
+  std::vector<std::string> lines_;
+};
+
+/// `--array NAME=SOURCE` sources: `stdin`, `tail:PATH`, `tcp:PORT`.
+std::unique_ptr<sim::ByteFeed> make_stream_feed(const std::string& source,
+                                                bool& stdin_taken) {
+  if (source == "stdin") {
+    if (stdin_taken) {
+      throw std::invalid_argument("only one array can read stdin");
+    }
+    stdin_taken = true;
+    return std::make_unique<sim::PipeFeed>();
+  }
+  if (source.rfind("tail:", 0) == 0) {
+    return std::make_unique<sim::FileTailFeed>(source.substr(5));
+  }
+  if (source.rfind("tcp:", 0) == 0) {
+    const std::uint64_t port = util::parse_u64(source.substr(4));
+    if (port > 65535) {
+      throw std::invalid_argument("tcp port out of range: " + source);
+    }
+    return std::make_unique<sim::TcpLineFeed>(static_cast<std::uint16_t>(port));
+  }
+  throw std::invalid_argument("array source '" + source +
+                              "' (use stdin, tail:PATH, or tcp:PORT)");
+}
+
+int cmd_stream(int argc, char** argv) {
+  // --array NAME=SOURCE repeats (one per array), so it is collected before
+  // the map-shaped flag parser sees the rest.
+  std::vector<std::pair<std::string, std::string>> array_specs;
+  std::vector<char*> rest;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--array") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--array needs NAME=SOURCE");
+      }
+      const std::string value = argv[++i];
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("--array expects NAME=SOURCE, got '" +
+                                    value + "'");
+      }
+      array_specs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const FlagMap flags =
+      parse_flags(static_cast<int>(rest.size()), rest.data(), 0,
+                  {"scheme", "period", "dt", "modules", "threads",
+                   "max-groups", "out", "checkpoint", "checkpoint-every",
+                   "poll-ms", "stall-timeout-ms", "idle-exit-ms"},
+                  {"resume"});
+
+  sim::StreamConfig config;
+  config.scheme = sim::parse_stream_scheme(flag_or(flags, "scheme", "dnor"));
+  config.control_period_s =
+      flag_double(flags, "period", config.control_period_s);
+  config.dt_s = flag_double(flags, "dt", 0.0);  // 0 derives from the stream
+  config.num_modules = flag_size(flags, "modules", 0);  // 0 likewise
+  config.sim.num_threads = flag_size(flags, "threads", config.sim.num_threads);
+  config.sim.ehtr_max_groups =
+      flag_size(flags, "max-groups", config.sim.ehtr_max_groups);
+
+  const std::string checkpoint_dir = flag_or(flags, "checkpoint", "");
+  const bool resume = flags.count("resume") != 0;
+  if (resume && checkpoint_dir.empty()) {
+    throw std::invalid_argument("--resume needs --checkpoint DIR");
+  }
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+  }
+
+  sim::StreamServerOptions server_options;
+  server_options.poll_ms = flag_u64(flags, "poll-ms", server_options.poll_ms);
+  server_options.stall_timeout_ms =
+      flag_u64(flags, "stall-timeout-ms", server_options.stall_timeout_ms);
+  server_options.idle_exit_ms = flag_u64(flags, "idle-exit-ms", 0);
+
+  const auto sink = std::make_shared<StreamSink>(flag_or(flags, "out", ""));
+  sim::StreamServer server(
+      [sink](const std::string& line) { sink->emit(line); }, server_options);
+
+  if (array_specs.empty()) array_specs.emplace_back("main", "stdin");
+  bool stdin_taken = false;
+  for (const auto& [name, source] : array_specs) {
+    sim::StreamArrayOptions array;
+    array.name = name;
+    array.config = config;
+    array.feed = make_stream_feed(source, stdin_taken);
+    if (const auto* tcp =
+            dynamic_cast<const sim::TcpLineFeed*>(array.feed.get())) {
+      std::fprintf(stderr, "array '%s': listening on 127.0.0.1:%u\n",
+                   name.c_str(), static_cast<unsigned>(tcp->port()));
+    }
+    if (!checkpoint_dir.empty()) {
+      array.checkpoint_path =
+          (std::filesystem::path(checkpoint_dir) / (name + ".ckpt")).string();
+      array.resume = resume;
+      array.checkpoint_every_steps = flag_size(flags, "checkpoint-every", 0);
+      array.on_resume = [sink](const std::vector<std::string>& lines) {
+        sink->restore(lines);
+      };
+    }
+    server.add_array(std::move(array));
+  }
+
+  std::signal(SIGTERM, stop_request_handler);
+  std::signal(SIGINT, stop_request_handler);
+  const std::vector<sim::StreamArrayReport> reports =
+      server.run(&g_stop_requested);
+
+  int failures = 0;
+  for (const sim::StreamArrayReport& report : reports) {
+    if (!report.error.empty()) {
+      ++failures;
+      std::fprintf(stderr, "array '%s': FAILED: %s\n", report.name.c_str(),
+                   report.error.c_str());
+      continue;
+    }
+    std::fprintf(
+        stderr,
+        "array '%s': %zu step(s), %zu decision(s), %.1f J net, %zu gap(s), "
+        "%zu out-of-order, %zu stall(s)%s%s%s\n",
+        report.name.c_str(), report.result.steps.size(), report.decisions,
+        report.result.energy_output_j, report.gaps, report.out_of_order,
+        report.stalls, report.resumed ? ", resumed" : "",
+        report.replayed != 0
+            ? (", " + std::to_string(report.replayed) + " replayed").c_str()
+            : "",
+        report.checkpointing_disabled ? ", CHECKPOINTING DISABLED" : "");
+    if (report.step_latency_ms.count() > 0) {
+      std::fprintf(stderr,
+                   "array '%s': step latency mean %.3f ms, max %.3f ms over "
+                   "%zu step(s)\n",
+                   report.name.c_str(), report.step_latency_ms.mean(),
+                   report.step_latency_ms.max(),
+                   report.step_latency_ms.count());
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 /// batch --spool: enqueue every spec onto the farm, poll until terminal,
@@ -815,7 +1038,15 @@ void usage() {
                "                      [--heartbeat-ms T] [--stale-ms T] "
                "[--max-attempts N]\n"
                "                      [--max-jobs N] [--idle-exit-ms T] "
-               "[--cache-max-bytes B]\n");
+               "[--cache-max-bytes B]\n"
+               "  tegrec_cli stream   [--array NAME=stdin|tail:PATH|tcp:PORT "
+               "...] [--scheme dnor|inor|ehtr|baseline]\n"
+               "                      [--dt T] [--modules N] [--period T] "
+               "[--threads W] [--max-groups G]\n"
+               "                      [--out FILE] [--checkpoint DIR "
+               "[--resume] [--checkpoint-every N]]\n"
+               "                      [--poll-ms T] [--stall-timeout-ms T] "
+               "[--idle-exit-ms T]\n");
 }
 
 }  // namespace
@@ -862,6 +1093,9 @@ int main(int argc, char** argv) {
                                      "heartbeat-ms", "stale-ms",
                                      "max-attempts", "max-jobs",
                                      "idle-exit-ms", "cache-max-bytes"}));
+    }
+    if (command == "stream") {
+      return cmd_stream(argc, argv);
     }
     usage();
     return 1;

@@ -40,8 +40,10 @@
 #include "core/ehtr.hpp"
 #include "core/inor.hpp"
 #include "core/objective.hpp"
+#include "switchfab/switch_network.hpp"
 #include "teg/array.hpp"
 #include "teg/array_evaluator.hpp"
+#include "teg/config.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -56,6 +58,18 @@ std::vector<double> profile(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     const double x = static_cast<double>(i) / static_cast<double>(n);
     out[i] = 38.0 * std::exp(-1.9 * x) + 4.0 + 0.7 * std::sin(17.0 * x);
+  }
+  return out;
+}
+
+// The same exhaust shape drifting between control periods (travelling wave
+// plus warm-up ramp) — the regime the warm-started search exploits.
+std::vector<double> drift_profile(std::size_t n, int step) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    out[i] = 38.0 * std::exp(-1.9 * x) + 4.0 +
+             0.7 * std::sin(17.0 * x + 0.3 * step) + 0.4 * step;
   }
   return out;
 }
@@ -154,7 +168,18 @@ struct Row {
   double mat_peak_rss_mb = std::nan("");
   double legacy_dp_s = std::nan("");
   double legacy_search_s = std::nan("");
+  // Warm-vs-cold over consecutive actuations of a drifting field
+  // (per-actuation means; warm carries the incumbent like the controller).
+  double cold_step_s = 0.0;
+  double warm_step_s = 0.0;
+  std::size_t warm_certified = 0;  ///< group counts solved on the last step
+  bool warm_identical = false;     ///< warm choices matched cold bit-for-bit
+  // Fabric actuation cost: a one-boundary flip vs a full all-parallel <->
+  // all-series rebuild — the O(changed) vs O(N) pair.
+  double apply_flip_us = 0.0;
+  double apply_rebuild_us = 0.0;
   double speedup() const { return legacy_search_s / new_search_s; }
+  double warm_speedup() const { return cold_step_s / warm_step_s; }
 };
 
 std::string cell(double v, const char* format) {
@@ -211,11 +236,77 @@ int main(int argc, char** argv) {
       });
       row.legacy_search_s = time_s([&] { legacy_ehtr_search(array, conv); });
     }
+
+    // Warm vs cold across consecutive actuations of a drifting field.  Both
+    // paths see the same fields; the warm one seeds each step with the
+    // previous step's group count and must stay bit-identical throughout.
+    constexpr int kDriftSteps = 4;
+    {
+      double cold_total = 0.0, warm_total = 0.0;
+      std::size_t incumbent = 0;
+      bool identical = true;
+      core::EhtrSearchStats stats;
+      for (int s = 1; s <= kDriftSteps; ++s) {
+        const teg::TegArray drifted(kDev, drift_profile(n, s));
+        teg::ArrayConfig cold_cfg, warm_cfg;
+        cold_total +=
+            time_s([&] { cold_cfg = core::ehtr_search(drifted, conv, 1); });
+        core::EhtrWarmStart warm;
+        warm.enabled = true;
+        warm.incumbent_groups = incumbent;
+        warm_total += time_s([&] {
+          warm_cfg = core::ehtr_search(drifted, conv, 1,
+                                       core::PartitionDp::kDivideAndConquer, 0,
+                                       warm, &stats);
+        });
+        identical = identical && warm_cfg == cold_cfg;
+        incumbent = warm_cfg.num_groups();
+      }
+      row.cold_step_s = cold_total / kDriftSteps;
+      row.warm_step_s = warm_total / kDriftSteps;
+      row.warm_certified = stats.groups_certified;
+      row.warm_identical = identical;
+    }
+
+    // Fabric actuation: flipping one boundary in a held configuration vs a
+    // full all-parallel <-> all-series rebuild.  The flip cost tracks the
+    // changed-switch count (flat across N up to the O(groups) boundary
+    // merge); the rebuild grows linearly with N.
+    {
+      const teg::ArrayConfig two({0, n / 2}, n);
+      const teg::ArrayConfig three({0, n / 4, n / 2}, n);
+      switchfab::SwitchNetwork net(n, two);
+      constexpr int kFlipReps = 2000;
+      row.apply_flip_us = time_s([&] {
+                            for (int i = 0; i < kFlipReps / 2; ++i) {
+                              net.apply(three);
+                              net.apply(two);
+                            }
+                          }) /
+                          kFlipReps * 1e6;
+      const teg::ArrayConfig par = teg::ArrayConfig::all_parallel(n);
+      const teg::ArrayConfig ser = teg::ArrayConfig::all_series(n);
+      switchfab::SwitchNetwork net2(n, par);
+      constexpr int kRebuildReps = 40;
+      row.apply_rebuild_us = time_s([&] {
+                               for (int i = 0; i < kRebuildReps / 2; ++i) {
+                                 net2.apply(ser);
+                                 net2.apply(par);
+                               }
+                             }) /
+                             kRebuildReps * 1e6;
+    }
     rows.push_back(row);
     std::printf("  N = %5zu done (streaming EHTR %.3f s, peak %.1f MB; "
                 "materialising %.3f s, peak %.1f MB)\n",
                 n, row.new_search_s, row.new_peak_rss_mb, row.mat_search_s,
                 row.mat_peak_rss_mb);
+    std::printf("            warm %.3f s/actuation vs cold %.3f (%.1fx, "
+                "certified %zu/%zu, bit-identical: %s); apply flip %.2f us "
+                "vs rebuild %.2f us\n",
+                row.warm_step_s, row.cold_step_s, row.warm_speedup(),
+                row.warm_certified, n, row.warm_identical ? "yes" : "NO",
+                row.apply_flip_us, row.apply_rebuild_us);
   }
 
   std::printf("\n");
@@ -237,21 +328,43 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
 
+  util::TextTable warm_table({"N", "cold (s/act)", "warm (s/act)",
+                              "warm speedup", "certified", "flip (us)",
+                              "rebuild (us)"});
+  for (const Row& r : rows) {
+    warm_table.begin_row()
+        .add(static_cast<double>(r.n), 0)
+        .add(r.cold_step_s, 5)
+        .add(r.warm_step_s, 5)
+        .add(r.warm_speedup(), 1)
+        .add(static_cast<double>(r.warm_certified), 0)
+        .add(r.apply_flip_us, 2)
+        .add(r.apply_rebuild_us, 2);
+  }
+  std::printf("%s\n", warm_table.render().c_str());
+
   // Unmeasured fields (NaN) become empty CSV cells / JSON nulls so both
   // files stay parseable by strict readers — util::csv_from_string reads
   // the empty cells (trailing ones included) back as NaN.
   if (std::FILE* csv = std::fopen(csv_path.c_str(), "w")) {
     std::fprintf(csv,
                  "n,inor_s,dc_dp_s,new_search_s,new_peak_rss_mb,mat_search_s,"
-                 "mat_peak_rss_mb,legacy_dp_s,legacy_search_s,speedup\n");
+                 "mat_peak_rss_mb,legacy_dp_s,legacy_search_s,speedup,"
+                 "cold_step_s,warm_step_s,warm_speedup,warm_certified,"
+                 "warm_identical,apply_flip_us,apply_rebuild_us\n");
     for (const Row& r : rows) {
-      std::fprintf(csv, "%zu,%.9f,%.9f,%.9f,%s,%.9f,%s,%s,%s,%s\n", r.n,
-                   r.inor_s, r.dc_dp_s, r.new_search_s,
+      std::fprintf(csv,
+                   "%zu,%.9f,%.9f,%.9f,%s,%.9f,%s,%s,%s,%s,%.9f,%.9f,%.9f,"
+                   "%zu,%d,%.9f,%.9f\n",
+                   r.n, r.inor_s, r.dc_dp_s, r.new_search_s,
                    cell(r.new_peak_rss_mb, "%.3f").c_str(), r.mat_search_s,
                    cell(r.mat_peak_rss_mb, "%.3f").c_str(),
                    cell(r.legacy_dp_s, "%.9f").c_str(),
                    cell(r.legacy_search_s, "%.9f").c_str(),
-                   cell(r.speedup(), "%.9f").c_str());
+                   cell(r.speedup(), "%.9f").c_str(), r.cold_step_s,
+                   r.warm_step_s, r.warm_speedup(), r.warm_certified,
+                   r.warm_identical ? 1 : 0, r.apply_flip_us,
+                   r.apply_rebuild_us);
     }
     std::fclose(csv);
     std::printf("wrote %s\n", csv_path.c_str());
@@ -269,11 +382,17 @@ int main(int argc, char** argv) {
                    "\"new_search_s\": %.9f, \"new_peak_rss_mb\": %s, "
                    "\"mat_search_s\": %.9f, \"mat_peak_rss_mb\": %s, "
                    "\"legacy_dp_s\": %s, \"legacy_search_s\": %s, "
-                   "\"speedup\": %s}%s\n",
+                   "\"speedup\": %s, \"cold_step_s\": %.9f, "
+                   "\"warm_step_s\": %.9f, \"warm_speedup\": %.9f, "
+                   "\"warm_certified\": %zu, \"warm_identical\": %s, "
+                   "\"apply_flip_us\": %.9f, \"apply_rebuild_us\": %.9f}%s\n",
                    r.n, r.inor_s, r.dc_dp_s, r.new_search_s,
                    num(r.new_peak_rss_mb).c_str(), r.mat_search_s,
                    num(r.mat_peak_rss_mb).c_str(), num(r.legacy_dp_s).c_str(),
                    num(r.legacy_search_s).c_str(), num(r.speedup()).c_str(),
+                   r.cold_step_s, r.warm_step_s, r.warm_speedup(),
+                   r.warm_certified, r.warm_identical ? "true" : "false",
+                   r.apply_flip_us, r.apply_rebuild_us,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "]\n");

@@ -1,0 +1,10 @@
+#include "core/algorithm_cost.hpp"
+
+namespace tegrec::core {
+
+double AlgorithmCost::budget_s(
+    const switchfab::OverheadParams& overhead) const {
+  return budget_multiplier * overhead.compute_budget_s;
+}
+
+}  // namespace tegrec::core

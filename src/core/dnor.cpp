@@ -92,8 +92,12 @@ UpdateResult DnorReconfigurer::update(double time_s,
           predicted_energies_j(current_, c_new, temps, forecast, ambient_c);
       const std::size_t toggles = 3 * current_.boundary_distance(c_new);
       const double p_now = config_power_w(array, converter_, current_);
+      // The estimate mirrors what the stepper would charge on actuation,
+      // including this controller's own declared compute budget.
       const double e_overhead =
-          switchfab::reconfiguration_cost(params_.overhead, toggles, p_now, 0.0)
+          switchfab::reconfiguration_cost(
+              params_.overhead, toggles, p_now,
+              algorithm_cost().budget_s(params_.overhead))
               .energy_j;
       // Algorithm 2's rule: switch only if E_old <= E_new - E_overhead.
       adopt = e_old <= e_new - e_overhead;

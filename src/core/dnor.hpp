@@ -45,6 +45,9 @@ class DnorReconfigurer final : public Reconfigurer {
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
                       double ambient_c) override;
   void reset() override;
+  AlgorithmCost algorithm_cost() const override {
+    return AlgorithmCost::dnor();
+  }
 
   /// DNOR is checkpoint-pure through its archived history: the predictor is
   /// re-fit from history_ before every decision, so serialising the window

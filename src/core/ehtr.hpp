@@ -19,6 +19,15 @@
 // partition is then scored with the same charger-aware objective.  Like
 // INOR in the paper's evaluation it re-runs every 0.5 s and always
 // actuates, hence its large switching overhead in Table I.
+//
+// Warm starts (docs/actuation.md): across consecutive actuations the
+// temperature field drifts slowly, so the optimal group count moves little.
+// ehtr_search can therefore solve the DP only up to a neighbourhood of the
+// incumbent group count and *certify* the rest away with a per-n upper
+// bound on any n-group config's charger-aware score; whenever the bound
+// can't rule a region out, the DP is extended into it and scored for real.
+// In the worst case that converges to the full cold sweep, so the chosen
+// config is bit-identical to cold search by construction.
 #pragma once
 
 #include <cstddef>
@@ -40,49 +49,75 @@ enum class PartitionDp {
 };
 
 /// Owns the partition DP's backtracking state: one flat uint32 parent arena
-/// (max_groups - 1 layers x N + 1 columns) instead of N materialised
-/// ArrayConfigs.  Candidates are reconstructed on demand into a caller
-/// scratch buffer, so a full EHTR sweep keeps O(N) bytes of candidate state
-/// resident where materialising all partitions costs O(N^2) (~400 MB at
-/// N = 10k) on top of the arena.
+/// (solved layers x N + 1 columns) instead of N materialised ArrayConfigs.
+/// Candidates are reconstructed on demand into a caller scratch buffer, so
+/// a full EHTR sweep keeps O(N) bytes of candidate state resident where
+/// materialising all partitions costs O(N^2) (~400 MB at N = 10k) on top of
+/// the arena.
+///
+/// The table solves lazily: layer j depends only on layer j - 1, so the two
+/// live DP value rows are retained and extend_to() appends further layers
+/// on demand.  Layers are bit-identical however the solve is split —
+/// solving to H then extending to H' equals solving to H' in one shot —
+/// which is what lets the warm-started search stop early yet stay
+/// bit-identical to the cold sweep.  The parent arena grows with the solved
+/// layer count, so a warm pass that stops at H groups keeps H/max_groups of
+/// the cold arena footprint.
 class PartitionTable {
  public:
-  /// Solves the balanced-partition DP for group counts 1..max_groups.
-  /// Throws std::invalid_argument on empty/non-finite/negative currents or
+  /// Validates inputs and solves the balanced-partition DP for group
+  /// counts 1..initial_groups (0 = all max_groups).  Throws
+  /// std::invalid_argument on empty/non-finite/negative currents or
   /// max_groups outside [1, N] — same contract as balanced_partitions.
   PartitionTable(const std::vector<double>& mpp_currents,
                  std::size_t max_groups,
-                 PartitionDp dp = PartitionDp::kDivideAndConquer);
+                 PartitionDp dp = PartitionDp::kDivideAndConquer,
+                 std::size_t initial_groups = 0);
 
   std::size_t num_modules() const { return count_; }
   std::size_t max_groups() const { return max_groups_; }
+  /// Group counts 1..solved_groups() are reconstructible right now.
+  std::size_t solved_groups() const { return solved_groups_; }
+
+  /// Solves further DP layers until group counts 1..n are available
+  /// (clamped to max_groups; no-op when already solved that far).
+  void extend_to(std::size_t n);
 
   /// Writes the optimal n-group partition's group starts into `starts`
-  /// (resized to n; capacity is reused across calls).  n in [1, max_groups].
+  /// (resized to n; capacity is reused across calls).  n must be in
+  /// [1, solved_groups()].
   void reconstruct(std::size_t n, std::vector<std::size_t>& starts) const;
 
   /// Materialises the optimal n-group partition as an ArrayConfig.
   teg::ArrayConfig config(std::size_t n) const;
 
-  /// Calls fn(n, starts) for every n in [1, max_groups] in order, reusing
-  /// one scratch buffer — the streaming replacement for iterating a
-  /// materialised candidate vector.
+  /// Calls fn(n, starts) for every solved n in [1, solved_groups()] in
+  /// order, reusing one scratch buffer — the streaming replacement for
+  /// iterating a materialised candidate vector.
   template <typename Fn>
   void for_each_candidate(Fn&& fn) const {
     std::vector<std::size_t> starts;
-    starts.reserve(max_groups_);
-    for (std::size_t n = 1; n <= max_groups_; ++n) {
+    starts.reserve(solved_groups_);
+    for (std::size_t n = 1; n <= solved_groups_; ++n) {
       reconstruct(n, starts);
       fn(n, static_cast<const std::vector<std::size_t>&>(starts));
     }
   }
 
  private:
+  void solve_one_layer(std::size_t j);
+
   std::size_t count_ = 0;
   std::size_t max_groups_ = 0;
+  std::size_t solved_groups_ = 0;
+  PartitionDp dp_kind_ = PartitionDp::kDivideAndConquer;
   /// Layer-major: parents_[(j - 1) * (count_ + 1) + i] is the best split
   /// point k for dp[j][i] (layer j = one more group than layer j - 1).
+  /// Sized for the solved layers only; extend_to() grows it.
   std::vector<std::uint32_t> parents_;
+  std::vector<double> prefix_;   ///< current prefix sums (DP cost basis)
+  std::vector<double> dp_prev_;  ///< value row of the last solved layer
+  std::vector<double> dp_cur_;   ///< scratch value row for the next layer
 };
 
 /// Optimal contiguous partitions (by squared group-sum balance) of the MPP
@@ -94,6 +129,25 @@ std::vector<teg::ArrayConfig> balanced_partitions(
     const std::vector<double>& mpp_currents, std::size_t max_n,
     PartitionDp dp = PartitionDp::kDivideAndConquer);
 
+/// Warm-start request for ehtr_search.  `incumbent_groups` seeds the
+/// neighbourhood (0 = none; the search then seeds from the converter's
+/// efficient group-count window) and `width` is how far past the seed the
+/// first DP solve reaches.  Purely a performance hint: the certified
+/// extension loop guarantees the chosen config is bit-identical to the
+/// cold sweep for every setting.
+struct EhtrWarmStart {
+  bool enabled = false;
+  std::size_t incumbent_groups = 0;
+  std::size_t width = 64;
+};
+
+/// Observability counters for one ehtr_search call (bench + tests).
+struct EhtrSearchStats {
+  std::size_t max_groups = 0;        ///< full sweep bound after clamping
+  std::size_t groups_certified = 0;  ///< group counts actually solved+scored
+  bool warm_used = false;            ///< warm pass engaged (prereqs held)
+};
+
 /// Full EHTR search: group counts 1..max_groups (0 = all N, values above N
 /// clamp to N), charger-aware scoring over a cached ArrayEvaluator.
 /// Candidates are streamed out of a PartitionTable and scored in parallel
@@ -104,32 +158,53 @@ std::vector<teg::ArrayConfig> balanced_partitions(
 /// the result is bit-identical to scoring the materialised candidate list
 /// for every thread count; if no candidate scores above the sentinel
 /// (e.g. an all-NaN temperature field) the first candidate is returned.
+///
+/// With `warm.enabled`, the DP is solved only to a neighbourhood of the
+/// incumbent group count and group counts beyond the frontier are pruned
+/// by a provable score bound: any n-group config scores at most
+/// eta_peak * min(P_cap, max_{v in window} v*(Vtop(n)-v)*G/n^2), where
+/// Vtop(n) is the sum of the n largest module open-circuit voltages (each
+/// group's voc is a conductance-weighted mean <= its max member) and G the
+/// total module conductance (r_string >= n^2/G by AM-HM).  Counts whose
+/// bound ties or beats the scored best force a DP extension and real
+/// scoring; only counts the bound strictly rules out are skipped, so the
+/// strict-improvement argmax provably can't land there and the result
+/// stays bit-identical to cold search.  Degenerate inputs (non-finite
+/// vocs or conductances) disable the warm pass entirely.
 teg::ArrayConfig ehtr_search(const teg::TegArray& array,
                              const power::Converter& converter,
                              std::size_t num_threads = 1,
                              PartitionDp dp = PartitionDp::kDivideAndConquer,
-                             std::size_t max_groups = 0);
+                             std::size_t max_groups = 0,
+                             const EhtrWarmStart& warm = {},
+                             EhtrSearchStats* stats = nullptr);
 
 /// Periodic controller wrapping ehtr_search (0.5 s period per [5]).
 /// `max_groups` bounds both the candidate sweep and the DP parent arena
 /// (0 = no cap); operators of farm-scale arrays use it to trade optimality
-/// headroom for memory.
+/// headroom for memory.  `warm_start` enables the certified warm pass,
+/// seeding each invocation's neighbourhood with the held config's group
+/// count (`warm_width` past it); decisions are bit-identical either way.
 class EhtrReconfigurer final : public Reconfigurer {
  public:
   EhtrReconfigurer(const teg::DeviceParams& device,
                    const power::ConverterParams& converter,
                    double period_s = 0.5, std::size_t num_threads = 1,
-                   std::size_t max_groups = 0);
+                   std::size_t max_groups = 0, bool warm_start = false,
+                   std::size_t warm_width = 64);
 
   std::string name() const override { return "EHTR"; }
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
                       double ambient_c) override;
   void reset() override;
+  AlgorithmCost algorithm_cost() const override;
 
   /// Stateless between invocations apart from the (next run time, held
   /// config) pair, so checkpoints round-trip trivially.  The DP runs fresh
-  /// per invocation and is bit-identical for every thread count, so the
-  /// restored decision stream matches regardless of num_threads.
+  /// per invocation and is bit-identical for every thread count and warm
+  /// setting, so the restored decision stream matches regardless of
+  /// num_threads or warm_start (the restored config re-seeds the
+  /// neighbourhood exactly as the live run's would have).
   bool supports_checkpoint() const override { return true; }
   std::string checkpoint_state() const override;
   void restore_checkpoint_state(const std::string& state) override;
@@ -140,6 +215,8 @@ class EhtrReconfigurer final : public Reconfigurer {
   double period_s_;
   std::size_t num_threads_;
   std::size_t max_groups_;
+  bool warm_start_;
+  std::size_t warm_width_;
   double next_run_time_s_ = 0.0;
   bool has_config_ = false;
   teg::ArrayConfig current_;

@@ -25,6 +25,9 @@ class FixedBaselineReconfigurer final : public Reconfigurer {
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
                       double ambient_c) override;
   void reset() override;
+  AlgorithmCost algorithm_cost() const override {
+    return AlgorithmCost::baseline();
+  }
 
   /// The only mutable state is the first-call flag (the fixed config is
   /// construction-time identity, guarded by the checkpoint's spec stamp).

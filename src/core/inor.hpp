@@ -51,6 +51,9 @@ class InorReconfigurer final : public Reconfigurer {
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
                       double ambient_c) override;
   void reset() override;
+  AlgorithmCost algorithm_cost() const override {
+    return AlgorithmCost::inor();
+  }
 
   /// Stateless between invocations apart from the (next run time, held
   /// config) pair, so checkpoints round-trip trivially.

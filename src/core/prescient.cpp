@@ -60,8 +60,11 @@ UpdateResult PrescientReconfigurer::update(double time_s,
     const auto [e_old, e_new] = future_energies_j(current_, c_new, time_s);
     const std::size_t toggles = 3 * current_.boundary_distance(c_new);
     const double p_now = config_power_w(array, converter_, current_);
+    // Mirrors the stepper's actuation charge, own compute budget included.
     const double e_overhead =
-        switchfab::reconfiguration_cost(params_.overhead, toggles, p_now, 0.0)
+        switchfab::reconfiguration_cost(
+            params_.overhead, toggles, p_now,
+            algorithm_cost().budget_s(params_.overhead))
             .energy_j;
     adopt = e_old <= e_new - e_overhead;  // Algorithm 2's rule, oracle inputs
   } else if (has_config_) {

@@ -39,6 +39,9 @@ class PrescientReconfigurer final : public Reconfigurer {
   UpdateResult update(double time_s, const std::vector<double>& delta_t_k,
                       double ambient_c) override;
   void reset() override;
+  AlgorithmCost algorithm_cost() const override {
+    return AlgorithmCost::prescient();
+  }
 
   std::size_t switches_taken() const { return switches_; }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/algorithm_cost.hpp"
 #include "teg/config.hpp"
 
 namespace tegrec::core {
@@ -41,6 +42,14 @@ class Reconfigurer {
 
   /// Resets internal state (history, held configuration) for a fresh run.
   virtual void reset() = 0;
+
+  /// The deterministic compute budget one invocation of this controller
+  /// charges the simulation (see core/algorithm_cost.hpp).  A declared
+  /// weight, not a measurement: the stepper charges
+  /// algorithm_cost().budget_s(overhead) whenever update() reports
+  /// invoked, keeping simulated physics independent of implementation
+  /// speed.  Defaults to the historical flat unit budget.
+  virtual AlgorithmCost algorithm_cost() const { return {}; }
 
   // ------------------------------------------------ streaming checkpoints
   //

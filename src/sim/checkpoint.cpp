@@ -231,7 +231,8 @@ std::unique_ptr<core::Reconfigurer> make_stream_controller(
     case StreamScheme::kEhtr:
       return std::make_unique<core::EhtrReconfigurer>(
           device, charger, config.control_period_s, config.sim.num_threads,
-          config.sim.ehtr_max_groups);
+          config.sim.ehtr_max_groups, config.sim.ehtr_warm_start,
+          config.sim.ehtr_warm_width);
     case StreamScheme::kBaseline:
       return std::make_unique<core::FixedBaselineReconfigurer>(
           core::FixedBaselineReconfigurer::square_grid(config.num_modules));

@@ -41,7 +41,8 @@ namespace tegrec::sim {
 /// it) changes; stale cache artifacts then miss instead of mismatching.
 /// v2: named workload scenarios (trace.scenario) and the process-load /
 /// stop-start / cold-start segment fields.
-inline constexpr int kSpecSchemaVersion = 2;
+/// v3: EHTR warm-start knobs (sim.ehtr_warm_start, sim.ehtr_warm_width).
+inline constexpr int kSpecSchemaVersion = 3;
 
 enum class ExperimentKind { kComparison, kMonteCarlo, kSweep };
 

@@ -100,12 +100,15 @@ StepRecord SimStepper::step(const TraceSample& sample) {
   rec.gross_power_w = core::config_power_w(evaluator, converter_, upd.config);
 
   // Overhead: an actuation blanks the output for sensing + compute +
-  // switching + MPPT re-settle (Section III.C, model of [5]).
+  // switching + MPPT re-settle (Section III.C, model of [5]).  The compute
+  // term is the controller's declared AlgorithmCost budget — deterministic
+  // data, never measured wall-clock — so EHTR is charged more than DNOR
+  // per invocation regardless of implementation speedups.
   double net_energy_j = rec.gross_power_w * dt;
   if (options_.charge_overhead && actuated) {
     const switchfab::OverheadCost cost = switchfab::reconfiguration_cost(
         options_.overhead, rec.switch_actuations, rec.gross_power_w,
-        options_.overhead.compute_budget_s);
+        controller_->algorithm_cost().budget_s(options_.overhead));
     rec.overhead_energy_j = std::min(cost.energy_j, net_energy_j);
     net_energy_j -= rec.overhead_energy_j;
     partial_.switch_overhead_j += rec.overhead_energy_j;

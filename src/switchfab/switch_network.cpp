@@ -1,6 +1,7 @@
 #include "switchfab/switch_network.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace tegrec::switchfab {
 
@@ -23,6 +24,7 @@ SwitchNetwork::SwitchNetwork(std::size_t num_modules,
     cells_[i].parallel_top_closed = !series;
     cells_[i].parallel_bottom_closed = !series;
   }
+  starts_ = initial.group_starts();
 }
 
 const SwitchCell& SwitchNetwork::cell(std::size_t i) const {
@@ -40,25 +42,48 @@ void SwitchNetwork::set_cell(std::size_t i, bool series) {
   total_actuations_ += 3;
 }
 
+ActuationPlan SwitchNetwork::diff(const teg::ArrayConfig& target) const {
+  if (target.num_modules() != num_modules_) {
+    throw std::invalid_argument("SwitchNetwork::diff: config size mismatch");
+  }
+  // A configuration's series boundaries are exactly its non-zero group
+  // starts (cell s-1 sits between modules s-1 and s).  The cells to flip
+  // are the symmetric difference of the wired and target boundary lists;
+  // both are strictly increasing, so one merge pass finds it in
+  // O(wired groups + target groups) — independent of the module count.
+  const std::vector<std::size_t>& wired = starts_;
+  const std::vector<std::size_t>& next = target.group_starts();
+  ActuationPlan plan;
+  std::size_t a = 1;  // skip the mandatory leading 0 of both lists
+  std::size_t b = 1;
+  while (a < wired.size() || b < next.size()) {
+    if (b == next.size() || (a < wired.size() && wired[a] < next[b])) {
+      plan.flip_cells.push_back(wired[a++] - 1);  // boundary opens
+    } else if (a == wired.size() || next[b] < wired[a]) {
+      plan.flip_cells.push_back(next[b++] - 1);   // boundary closes
+    } else {
+      ++a;  // boundary present on both sides: cell untouched
+      ++b;
+    }
+  }
+  return plan;
+}
+
 std::size_t SwitchNetwork::apply(const teg::ArrayConfig& config) {
   if (config.num_modules() != num_modules_) {
     throw std::invalid_argument("SwitchNetwork::apply: config size mismatch");
   }
-  const std::size_t before = total_actuations_;
-  for (std::size_t i = 0; i + 1 < num_modules_; ++i) {
-    set_cell(i, config.is_series_boundary(i));
+  const ActuationPlan plan = diff(config);
+  for (const std::size_t cell : plan.flip_cells) {
+    set_cell(cell, !cells_[cell].series_closed);
   }
-  const std::size_t actuated = total_actuations_ - before;
-  if (actuated > 0) ++events_;
-  return actuated;
+  starts_ = config.group_starts();
+  if (!plan.empty()) ++events_;
+  return plan.num_switch_actuations();
 }
 
 teg::ArrayConfig SwitchNetwork::current_config() const {
-  std::vector<std::size_t> starts{0};
-  for (std::size_t i = 0; i + 1 < num_modules_; ++i) {
-    if (cells_[i].is_series()) starts.push_back(i + 1);
-  }
-  return teg::ArrayConfig(std::move(starts), num_modules_);
+  return teg::ArrayConfig(starts_, num_modules_);
 }
 
 bool SwitchNetwork::is_valid() const {

@@ -6,6 +6,14 @@
 // active per adjacency: series (S_S closed, both parallel open) or parallel
 // (both parallel closed, S_S open).  The network tracks the physical state,
 // applies ArrayConfigs, counts actuations, and rejects invalid states.
+//
+// Reconfiguration is incremental: the wired configuration's series
+// boundaries are cached, so diff() computes the set of adjacencies whose
+// connection type flips by merging two sorted boundary lists — O(groups) —
+// and apply() touches only those cells.  Per-actuation cost therefore
+// scales with the size of the change, not the module count; a 10k-module
+// fabric whose optimum drifts by two boundaries actuates 6 switches and
+// does O(groups) bookkeeping instead of an O(N) rebuild.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +38,17 @@ struct SwitchCell {
   }
 };
 
+/// The actuation plan of one reconfiguration: the adjacency cells whose
+/// connection type must flip to move the wired configuration onto a
+/// target.  Applying a plan actuates all three switches of each listed
+/// cell and nothing else.
+struct ActuationPlan {
+  std::vector<std::size_t> flip_cells;  ///< ascending cell indices to flip
+
+  std::size_t num_switch_actuations() const { return 3 * flip_cells.size(); }
+  bool empty() const { return flip_cells.empty(); }
+};
+
 class SwitchNetwork {
  public:
   /// Initial state: the given configuration applied (default all-parallel).
@@ -40,11 +59,22 @@ class SwitchNetwork {
   std::size_t num_cells() const { return cells_.size(); }
   const SwitchCell& cell(std::size_t i) const;
 
+  /// Computes the actuation plan from the wired configuration to `target`
+  /// without touching any switch: the symmetric difference of the two
+  /// configurations' series-boundary lists, merged in O(groups).  Throws
+  /// std::invalid_argument when `target` is sized for a different module
+  /// count.  plan.num_switch_actuations() == 3 * boundary_distance.
+  ActuationPlan diff(const teg::ArrayConfig& target) const;
+
   /// Applies a configuration; returns the number of individual switch
-  /// actuations performed (3 per adjacency whose type flips).
+  /// actuations performed (3 per adjacency whose type flips).  Internally
+  /// diff()s against the wired configuration and flips only the changed
+  /// cells.  Throws std::invalid_argument on a config sized for a
+  /// different module count.
   std::size_t apply(const teg::ArrayConfig& config);
 
-  /// Recovers the ArrayConfig corresponding to the current switch state.
+  /// Recovers the ArrayConfig corresponding to the current switch state
+  /// (O(groups) — served from the cached boundary list).
   teg::ArrayConfig current_config() const;
 
   /// Lifetime actuation counter (wear tracking).
@@ -58,6 +88,9 @@ class SwitchNetwork {
  private:
   std::size_t num_modules_ = 0;
   std::vector<SwitchCell> cells_;
+  /// Group starts of the wired configuration — the cached mirror of
+  /// cells_ that makes diff() and current_config() O(groups).
+  std::vector<std::size_t> starts_;
   std::size_t total_actuations_ = 0;
   std::size_t events_ = 0;
 

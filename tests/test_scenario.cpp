@@ -99,15 +99,15 @@ TEST(ScenarioSpec, GoldenFingerprints) {
   // invalidate every cached result built from the name.  Update the
   // constants deliberately when that happens.
   EXPECT_EQ(scenario_spec("porter_800s").fingerprint(),
-            "6dfd204eb62cfbf6f97d5c631446762d");
+            "4fbc85e56ecbf7714e204b9e84cad880");
   EXPECT_EQ(scenario_spec("urban_stop_start").fingerprint(),
-            "8aebc6f669510004ca8e13b7e28a5813");
+            "cfccca2a59080fcb43b5616d86ecccaa");
   EXPECT_EQ(scenario_spec("winter_cold_start").fingerprint(),
-            "81282538adb0a7b84ffc47d8023931d5");
+            "f047f4c8e029b8f18cd6b895806c8eb6");
   EXPECT_EQ(scenario_spec("boiler_economiser").fingerprint(),
-            "2020453f49d72b72d4baf89045f4bb87");
+            "734a012691ab62f7556edb10cd6a4b24");
   EXPECT_EQ(scenario_spec("kiln_batch").fingerprint(),
-            "5053979873afb8ec5e65eaf77308a7af");
+            "8d5523679c92c877ea9dc9afb60e34c2");
 }
 
 TEST(ScenarioSpec, FingerprintsStableAcrossProcessesAndDistinct) {
